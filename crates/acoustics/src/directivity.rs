@@ -1,0 +1,173 @@
+//! Source directivity: how the speaker's output varies off-axis.
+//!
+//! A circular piston of radius `a` radiating at wavenumber `k` has the
+//! classic far-field pattern `D(θ) = 2·J₁(ka·sinθ)/(ka·sinθ)`. Two
+//! regimes matter for the attack:
+//!
+//! * In the paper's vulnerable band (300 Hz–1.7 kHz underwater,
+//!   λ = 0.9–5 m) the AQ339's ~6 cm radius gives `ka ≪ 1`: the source is
+//!   **omnidirectional**. The attack cannot be narrowed to one enclosure,
+//!   and a defender cannot hide a rack "off to the side".
+//! * Above ~10 kHz the beam narrows, which is why ultrasonic
+//!   (shock-sensor) attacks in the Blue Note tradition *are* aimable.
+
+use crate::medium::WaterConditions;
+use crate::units::{Distance, Frequency};
+
+/// First-kind Bessel function J₁: ascending series for small arguments,
+/// the standard asymptotic form for large ones (the series loses
+/// precision to cancellation past `x ≈ 20`).
+fn bessel_j1(x: f64) -> f64 {
+    let x = x.abs();
+    if x > 18.0 {
+        // J1(x) ≈ sqrt(2/(πx)) · cos(x − 3π/4), error O(x^-1).
+        return (2.0 / (std::f64::consts::PI * x)).sqrt()
+            * (x - 3.0 * std::f64::consts::FRAC_PI_4).cos();
+    }
+    let half = x / 2.0;
+    let mut term = half; // m = 0 term: (x/2)^1 / (0! * 1!)
+    let mut sum = term;
+    for m in 1..60 {
+        term *= -(half * half) / (m as f64 * (m as f64 + 1.0));
+        sum += term;
+        if term.abs() < 1e-16 {
+            break;
+        }
+    }
+    sum
+}
+
+/// The piston directivity factor `D(θ)` (linear pressure ratio, 1 on
+/// axis), for a source of radius `a` at frequency `f` in water `w`.
+///
+/// # Panics
+///
+/// Panics if the angle is not finite.
+pub fn piston_directivity(
+    f: Frequency,
+    radius: Distance,
+    w: &WaterConditions,
+    angle_rad: f64,
+) -> f64 {
+    assert!(angle_rad.is_finite(), "angle must be finite");
+    let k = f.angular() / w.sound_speed_m_s();
+    let x = k * radius.m() * angle_rad.sin().abs();
+    if x < 1e-9 {
+        return 1.0;
+    }
+    (2.0 * bessel_j1(x) / x).abs()
+}
+
+/// Off-axis attenuation in dB (≥ 0) at `angle_rad` from the axis.
+pub fn off_axis_attenuation_db(
+    f: Frequency,
+    radius: Distance,
+    w: &WaterConditions,
+    angle_rad: f64,
+) -> f64 {
+    let d = piston_directivity(f, radius, w, angle_rad).max(1e-6);
+    -20.0 * d.log10()
+}
+
+/// The half-power (−3 dB) beamwidth in radians (full angle), found by
+/// scanning; `None` when the source is effectively omnidirectional
+/// (no −3 dB point within ±90°).
+pub fn half_power_beamwidth_rad(
+    f: Frequency,
+    radius: Distance,
+    w: &WaterConditions,
+) -> Option<f64> {
+    let mut theta = 0.0_f64;
+    while theta <= std::f64::consts::FRAC_PI_2 {
+        if off_axis_attenuation_db(f, radius, w, theta) >= 3.0 {
+            return Some(2.0 * theta);
+        }
+        theta += 1e-3;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn water() -> WaterConditions {
+        WaterConditions::tank_freshwater()
+    }
+
+    #[test]
+    fn bessel_j1_reference_values() {
+        // Abramowitz & Stegun: J1(1) = 0.4400506, J1(2) = 0.5767248,
+        // J1(5) = -0.3275791.
+        assert!((bessel_j1(1.0) - 0.4400506).abs() < 1e-6);
+        assert!((bessel_j1(2.0) - 0.5767248).abs() < 1e-6);
+        assert!((bessel_j1(5.0) + 0.3275791).abs() < 1e-6);
+        assert_eq!(bessel_j1(0.0), 0.0);
+    }
+
+    #[test]
+    fn on_axis_is_unity() {
+        let d = piston_directivity(Frequency::from_hz(650.0), Distance::from_cm(6.0), &water(), 0.0);
+        assert_eq!(d, 1.0);
+        assert_eq!(
+            off_axis_attenuation_db(Frequency::from_khz(30.0), Distance::from_cm(6.0), &water(), 0.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn attack_band_is_omnidirectional() {
+        // ka at 650 Hz with a 6 cm radius in water ≈ 0.16: even at 90°
+        // off-axis the level barely drops — the attack cannot be aimed,
+        // and racks cannot hide beside the source.
+        let w = water();
+        for hz in [300.0, 650.0, 1_300.0] {
+            let att = off_axis_attenuation_db(
+                Frequency::from_hz(hz),
+                Distance::from_cm(6.0),
+                &w,
+                std::f64::consts::FRAC_PI_2,
+            );
+            assert!(att < 0.5, "{hz} Hz: {att} dB at 90°");
+            assert!(half_power_beamwidth_rad(Frequency::from_hz(hz), Distance::from_cm(6.0), &w)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn ultrasound_beams_narrow() {
+        // At 100 kHz (λ = 1.5 cm) the same aperture is 8λ wide: a real
+        // beam forms, with a measurable half-power width.
+        let w = water();
+        let bw = half_power_beamwidth_rad(Frequency::from_khz(100.0), Distance::from_cm(6.0), &w)
+            .expect("beam must form at ultrasound");
+        let degrees = bw.to_degrees();
+        assert!((2.0..30.0).contains(&degrees), "beamwidth = {degrees}°");
+    }
+
+    #[test]
+    fn beam_narrows_with_frequency() {
+        let w = water();
+        let bw50 = half_power_beamwidth_rad(Frequency::from_khz(50.0), Distance::from_cm(6.0), &w)
+            .expect("beam at 50 kHz");
+        let bw150 =
+            half_power_beamwidth_rad(Frequency::from_khz(150.0), Distance::from_cm(6.0), &w)
+                .expect("beam at 150 kHz");
+        assert!(bw150 < bw50);
+    }
+
+    proptest! {
+        /// Directivity is bounded by the on-axis value.
+        #[test]
+        fn never_exceeds_on_axis(khz in 0.1f64..200.0, deg in 0.0f64..90.0) {
+            let d = piston_directivity(
+                Frequency::from_khz(khz),
+                Distance::from_cm(6.0),
+                &water(),
+                deg.to_radians(),
+            );
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&d), "d = {}", d);
+        }
+    }
+}

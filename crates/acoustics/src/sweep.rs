@@ -1,0 +1,221 @@
+//! Frequency-sweep planning.
+//!
+//! §4.1 of the paper: "we perform a frequency sweep starting at 100 Hz and
+//! ending at 16.9 kHz and narrowing to 50 Hz increments between vulnerable
+//! frequencies". [`SweepPlan`] reproduces that methodology: a coarse
+//! geometric or linear pass over the full band, then (driven by the
+//! caller's measurements) a fine linear pass across any band found
+//! vulnerable.
+
+use crate::units::Frequency;
+use serde::{Deserialize, Serialize};
+
+/// One step of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepStep {
+    /// Frequency to transmit.
+    pub frequency: Frequency,
+    /// Whether this step belongs to the fine (refinement) pass.
+    pub fine: bool,
+}
+
+/// A frequency sweep plan.
+///
+/// # Example
+///
+/// ```
+/// use deepnote_acoustics::{SweepPlan, Frequency};
+///
+/// let plan = SweepPlan::paper_sweep();
+/// let freqs: Vec<_> = plan.coarse_steps().collect();
+/// assert_eq!(freqs.first().unwrap().frequency.hz(), 100.0);
+/// assert!(freqs.last().unwrap().frequency.hz() <= 16_900.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPlan {
+    start: Frequency,
+    end: Frequency,
+    coarse_step_hz: f64,
+    fine_step_hz: f64,
+}
+
+impl SweepPlan {
+    /// Creates a sweep plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is empty or a step is non-positive, or the fine
+    /// step is larger than the coarse step.
+    pub fn new(start: Frequency, end: Frequency, coarse_step_hz: f64, fine_step_hz: f64) -> Self {
+        assert!(start.hz() < end.hz(), "sweep band must be non-empty");
+        assert!(
+            coarse_step_hz > 0.0 && fine_step_hz > 0.0,
+            "sweep steps must be positive"
+        );
+        assert!(
+            fine_step_hz <= coarse_step_hz,
+            "fine step must not exceed coarse step"
+        );
+        SweepPlan {
+            start,
+            end,
+            coarse_step_hz,
+            fine_step_hz,
+        }
+    }
+
+    /// The paper's sweep: 100 Hz → 16.9 kHz, 100 Hz coarse steps, 50 Hz
+    /// refinement.
+    pub fn paper_sweep() -> Self {
+        SweepPlan::new(
+            Frequency::from_hz(100.0),
+            Frequency::from_khz(16.9),
+            100.0,
+            50.0,
+        )
+    }
+
+    /// Start of the sweep band.
+    pub fn start(&self) -> Frequency {
+        self.start
+    }
+
+    /// End of the sweep band (inclusive).
+    pub fn end(&self) -> Frequency {
+        self.end
+    }
+
+    /// The coarse pass: linear steps across the whole band, inclusive of
+    /// both edges.
+    pub fn coarse_steps(&self) -> impl Iterator<Item = SweepStep> + '_ {
+        let n = ((self.end.hz() - self.start.hz()) / self.coarse_step_hz).round() as usize;
+        (0..=n).map(move |i| SweepStep {
+            frequency: Frequency::from_hz(
+                (self.start.hz() + i as f64 * self.coarse_step_hz).min(self.end.hz()),
+            ),
+            fine: false,
+        })
+    }
+
+    /// The refinement pass between `lo` and `hi` (both clamped to the
+    /// plan's band): fine linear steps, inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn fine_steps(
+        &self,
+        lo: Frequency,
+        hi: Frequency,
+    ) -> impl Iterator<Item = SweepStep> + '_ {
+        assert!(lo.hz() < hi.hz(), "refinement band must be non-empty");
+        let lo_hz = lo.hz().max(self.start.hz());
+        let hi_hz = hi.hz().min(self.end.hz());
+        let n = ((hi_hz - lo_hz) / self.fine_step_hz).round() as usize;
+        (0..=n).map(move |i| SweepStep {
+            frequency: Frequency::from_hz((lo_hz + i as f64 * self.fine_step_hz).min(hi_hz)),
+            fine: true,
+        })
+    }
+
+    /// Full adaptive plan: run the coarse pass, call `probe` on each
+    /// frequency (returning `true` when the target looks vulnerable, e.g.
+    /// throughput dipped), then refine one coarse step around every
+    /// vulnerable coarse frequency. Returns all visited steps in order.
+    pub fn run_adaptive(&self, mut probe: impl FnMut(Frequency) -> bool) -> Vec<SweepStep> {
+        let mut visited = Vec::new();
+        let mut vulnerable = Vec::new();
+        for step in self.coarse_steps() {
+            if probe(step.frequency) {
+                vulnerable.push(step.frequency);
+            }
+            visited.push(step);
+        }
+        for f in vulnerable {
+            let lo = Frequency::from_hz((f.hz() - self.coarse_step_hz).max(self.start.hz()));
+            let hi = Frequency::from_hz((f.hz() + self.coarse_step_hz).min(self.end.hz()));
+            if lo.hz() < hi.hz() {
+                for step in self.fine_steps(lo, hi) {
+                    // Refinement probes too (results recorded by caller).
+                    let _ = probe(step.frequency);
+                    visited.push(step);
+                }
+            }
+        }
+        visited
+    }
+}
+
+impl Default for SweepPlan {
+    fn default() -> Self {
+        Self::paper_sweep()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_covers_band_inclusive() {
+        let plan = SweepPlan::paper_sweep();
+        let steps: Vec<_> = plan.coarse_steps().collect();
+        assert_eq!(steps.first().unwrap().frequency.hz(), 100.0);
+        assert_eq!(steps.last().unwrap().frequency.hz(), 16_900.0);
+        assert!(steps.iter().all(|s| !s.fine));
+        // 100 Hz steps over 16.8 kHz: 169 posts.
+        assert_eq!(steps.len(), 169);
+    }
+
+    #[test]
+    fn fine_steps_are_50hz() {
+        let plan = SweepPlan::paper_sweep();
+        let steps: Vec<_> = plan
+            .fine_steps(Frequency::from_hz(300.0), Frequency::from_hz(500.0))
+            .collect();
+        let freqs: Vec<f64> = steps.iter().map(|s| s.frequency.hz()).collect();
+        assert_eq!(freqs, vec![300.0, 350.0, 400.0, 450.0, 500.0]);
+        assert!(steps.iter().all(|s| s.fine));
+    }
+
+    #[test]
+    fn fine_steps_clamped_to_band() {
+        let plan = SweepPlan::paper_sweep();
+        let steps: Vec<_> = plan
+            .fine_steps(Frequency::from_hz(0.0), Frequency::from_hz(200.0))
+            .collect();
+        assert_eq!(steps.first().unwrap().frequency.hz(), 100.0);
+    }
+
+    #[test]
+    fn adaptive_refines_around_hits() {
+        let plan = SweepPlan::new(
+            Frequency::from_hz(100.0),
+            Frequency::from_hz(1_000.0),
+            100.0,
+            50.0,
+        );
+        // Pretend only 600 Hz-ish is vulnerable.
+        let visited = plan.run_adaptive(|f| (550.0..=650.0).contains(&f.hz()));
+        let fine: Vec<f64> = visited
+            .iter()
+            .filter(|s| s.fine)
+            .map(|s| s.frequency.hz())
+            .collect();
+        // 600 Hz coarse hit refines 500..700 in 50 Hz steps.
+        assert_eq!(fine, vec![500.0, 550.0, 600.0, 650.0, 700.0]);
+    }
+
+    #[test]
+    fn adaptive_no_hits_no_fine_pass() {
+        let plan = SweepPlan::paper_sweep();
+        let visited = plan.run_adaptive(|_| false);
+        assert!(visited.iter().all(|s| !s.fine));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_band_panics() {
+        SweepPlan::new(Frequency::from_hz(500.0), Frequency::from_hz(100.0), 10.0, 5.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! ABL-ADAPTIVE: the §3 remote attacker — frequency discovery from
+//! observed latency, plus the redundancy and spectrum studies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_acoustics::{Distance, Frequency, SweepPlan};
+use deepnote_core::experiments::{ablations, adaptive, redundancy};
+use deepnote_core::testbed::Testbed;
+use deepnote_structures::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+
+    let discovery = adaptive::remote_frequency_discovery(
+        &testbed,
+        Distance::from_cm(1.0),
+        &SweepPlan::paper_sweep(),
+        6,
+    );
+    println!(
+        "\nadaptive attacker: band {:?}, best {:?} Hz, baseline {:.2} ms",
+        discovery.vulnerable_band(),
+        discovery.best_frequency_hz,
+        discovery.baseline_latency_ms
+    );
+    println!("\n{}", redundancy::render(&redundancy::mirror_study()));
+    for row in ablations::noise_vs_tone() {
+        println!(
+            "  {:<42} displacement {:>7.1} nm, write {:>5.1} MB/s",
+            row.label, row.displacement_nm, row.write_mb_s
+        );
+    }
+
+    let quick_plan = SweepPlan::new(
+        Frequency::from_hz(100.0),
+        Frequency::from_khz(4.0),
+        200.0,
+        50.0,
+    );
+    c.bench_function("abl_adaptive/remote_discovery_quick", |b| {
+        b.iter(|| {
+            black_box(adaptive::remote_frequency_discovery(
+                &testbed,
+                Distance::from_cm(1.0),
+                &quick_plan,
+                4,
+            ))
+        })
+    });
+    c.bench_function("abl_adaptive/redundancy_study", |b| {
+        b.iter(|| black_box(redundancy::mirror_study()))
+    });
+    c.bench_function("abl_adaptive/noise_vs_tone", |b| {
+        b.iter(|| black_box(ablations::noise_vs_tone()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

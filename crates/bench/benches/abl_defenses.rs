@@ -1,0 +1,24 @@
+//! ABL-DEFENSE: §5 "In-air Defenses" — liner, dampers, augmented servo,
+//! and their thermal cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_core::defense;
+use deepnote_core::report;
+use deepnote_core::testbed::Testbed;
+use deepnote_structures::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+    println!("\n{}", report::render_defenses(&defense::evaluate_catalog(&testbed)));
+    c.bench_function("abl_defenses/catalog", |b| {
+        b.iter(|| black_box(defense::evaluate_catalog(&testbed)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! ABL-MATERIAL: §5 "Data Center Structure" — enclosure material and
+//! wall thickness vs attack effect.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_core::experiments::ablations;
+use deepnote_core::report;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", report::render_materials(&ablations::materials()));
+    c.bench_function("abl_materials/sweep", |b| {
+        b.iter(|| black_box(ablations::materials()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

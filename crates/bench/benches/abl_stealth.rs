@@ -1,0 +1,24 @@
+//! ABL-STEALTH: duty-cycled attacks vs the latency-anomaly detector —
+//! the §3 "controlled throughput loss" objective, quantified against a
+//! defender.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_core::experiments::stealth;
+use deepnote_core::testbed::Testbed;
+use deepnote_structures::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+    println!("\n{}", stealth::render(&stealth::duty_cycle_sweep(&testbed)));
+    c.bench_function("abl_stealth/duty_cycle_sweep", |b| {
+        b.iter(|| black_box(stealth::duty_cycle_sweep(&testbed)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! ABL-TOLERANCE: sensitivity of the dead bands to the read/write
+//! off-track thresholds — the mechanism behind Fig. 2's asymmetry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_core::experiments::ablations;
+use deepnote_core::report;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", report::render_tolerance(&ablations::tolerance_sensitivity()));
+    c.bench_function("abl_tolerance/sweep", |b| {
+        b.iter(|| black_box(ablations::tolerance_sensitivity()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! ABL-WATER: §5 "Water Conditions" — temperature/salinity/depth vs the
+//! attack's open-water reach, plus attacker power.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_core::experiments::ablations;
+use deepnote_core::report;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", report::render_water(&ablations::water_conditions()));
+    println!("{}", report::render_power(&ablations::attacker_power()));
+
+    c.bench_function("abl_water/conditions_sweep", |b| {
+        b.iter(|| black_box(ablations::water_conditions()))
+    });
+    c.bench_function("abl_water/attacker_power", |b| {
+        b.iter(|| black_box(ablations::attacker_power()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

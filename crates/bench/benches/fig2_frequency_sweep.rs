@@ -1,0 +1,52 @@
+//! FIG2: regenerates Figure 2 (sequential write / read throughput vs
+//! attack frequency, Scenarios 1–3) and times the sweep harness.
+//!
+//! Paper shape to reproduce: throughput losses across ~300 Hz–1.7 kHz in
+//! all scenarios; writes die over a wider band than reads; the metal
+//! container's (Scenario 3) bands end lower (~1.3 kHz writes, ~800 Hz
+//! reads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_acoustics::{Distance, SweepPlan};
+use deepnote_core::experiments::frequency;
+use deepnote_core::report;
+use std::hint::black_box;
+
+fn print_figure_once() {
+    let sweeps = frequency::figure2(Distance::from_cm(1.0), &SweepPlan::paper_sweep());
+    println!("\n{}", report::render_figure2(&sweeps));
+    for sweep in &sweeps {
+        let min_w = sweep.write.min_point().unwrap();
+        let min_r = sweep.read.min_point().unwrap();
+        println!(
+            "  {}: write minimum {:.1} MB/s @ {:.0} Hz, read minimum {:.1} MB/s @ {:.0} Hz",
+            sweep.scenario, min_w.1, min_w.0, min_r.1, min_r.0
+        );
+    }
+    println!("  paper: all scenarios lose throughput in 300 Hz–1.7 kHz; S3 writes 0 over 300–1300 Hz, reads over 300–800 Hz\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_once();
+    let plan = SweepPlan::paper_sweep();
+    c.bench_function("fig2/full_sweep_3_scenarios", |b| {
+        b.iter(|| black_box(frequency::figure2(Distance::from_cm(1.0), &plan)))
+    });
+    c.bench_function("fig2/single_measured_point_650hz", |b| {
+        b.iter(|| {
+            black_box(frequency::measure_point(
+                deepnote_structures::Scenario::PlasticTower,
+                deepnote_acoustics::Frequency::from_hz(650.0),
+                Distance::from_cm(1.0),
+                1,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

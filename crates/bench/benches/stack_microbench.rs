@@ -1,0 +1,64 @@
+//! Microbenchmarks of the substrate itself: how fast does the simulation
+//! run per simulated second? Useful when extending the models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_blockdev::{BlockDevice, HddDisk, MemDisk};
+use deepnote_fs::Filesystem;
+use deepnote_kv::{bench as kvbench, Db};
+use deepnote_sim::{Clock, SimDuration};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("stack/hdd_1000_seq_writes", |b| {
+        b.iter(|| {
+            let clock = Clock::new();
+            let mut disk = HddDisk::barracuda_500gb(clock.clone());
+            let buf = vec![0u8; 4096];
+            for i in 0..1000u64 {
+                disk.write_blocks(i * 8, &buf).unwrap();
+            }
+            black_box(clock.now())
+        })
+    });
+    c.bench_function("stack/fs_create_write_commit", |b| {
+        b.iter(|| {
+            let clock = Clock::new();
+            let mut fs = Filesystem::format(MemDisk::new(1 << 16), clock).unwrap();
+            fs.create_file("/f").unwrap();
+            fs.write_file("/f", 0, &[7u8; 8192]).unwrap();
+            fs.commit().unwrap();
+            black_box(fs.stats())
+        })
+    });
+    c.bench_function("stack/kv_1000_puts", |b| {
+        b.iter(|| {
+            let clock = Clock::new();
+            let mut db = Db::create(MemDisk::new(1 << 18), clock).unwrap();
+            let spec = kvbench::BenchSpec::default();
+            for i in 0..1000 {
+                db.put(&spec.key(i), &spec.value(i)).unwrap();
+            }
+            black_box(db.stats())
+        })
+    });
+    c.bench_function("stack/kv_rww_1s_virtual", |b| {
+        b.iter(|| {
+            let clock = Clock::new();
+            let mut db = Db::create(MemDisk::new(1 << 20), clock).unwrap();
+            let spec = kvbench::BenchSpec {
+                num_keys: 2_000,
+                duration: SimDuration::from_secs(1),
+                ..Default::default()
+            };
+            kvbench::fill_seq(&mut db, &spec).unwrap();
+            black_box(kvbench::read_while_writing(&mut db, &spec))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

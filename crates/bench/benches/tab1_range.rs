@@ -1,0 +1,35 @@
+//! TAB1: regenerates Table 1 (FIO read/write throughput and latency vs
+//! speaker distance; Scenario 2, 650 Hz, 140 dB) and times the harness.
+//!
+//! Paper rows: No Attack 18.0/22.7 MB/s @0.2 ms; 1–5 cm no response;
+//! 10 cm 12.6/0.3; 15 cm 17.6/2.9 (write 4.0 ms); 20 cm 17.6/21.1;
+//! 25 cm 18.0/22.0.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_core::experiments::range;
+use deepnote_core::report;
+use deepnote_core::testbed::Testbed;
+use deepnote_structures::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", report::render_table1(&range::table1(5)));
+
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+    c.bench_function("tab1/full_table_7_rows", |b| {
+        b.iter(|| black_box(range::table1(2)))
+    });
+    c.bench_function("tab1/single_row_10cm", |b| {
+        b.iter(|| black_box(range::fio_row(&testbed, Some(10.0), 2)))
+    });
+    c.bench_function("tab1/baseline_row", |b| {
+        b.iter(|| black_box(range::fio_row(&testbed, None, 2)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

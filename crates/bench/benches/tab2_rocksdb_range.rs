@@ -1,0 +1,43 @@
+//! TAB2: regenerates Table 2 (RocksDB `readwhilewriting` throughput and
+//! I/O rate vs speaker distance; Scenario 2, 650 Hz) and times the
+//! harness.
+//!
+//! Paper rows: No Attack 8.7 MB/s & 1.1×100k ops/s; 1–10 cm zero;
+//! 15 cm 3.7 & 0.9; 20–25 cm 8.6 & 1.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_core::experiments::range;
+use deepnote_core::report;
+use deepnote_core::testbed::Testbed;
+use deepnote_kv::bench::BenchSpec;
+use deepnote_sim::SimDuration;
+use deepnote_structures::Scenario;
+use std::hint::black_box;
+
+fn quick_spec() -> BenchSpec {
+    BenchSpec {
+        num_keys: 5_000,
+        duration: SimDuration::from_secs(3),
+        ..BenchSpec::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", report::render_table2(&range::table2(&range::quick_kv_spec())));
+
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+    let spec = quick_spec();
+    c.bench_function("tab2/full_table_7_rows", |b| {
+        b.iter(|| black_box(range::table2(&spec)))
+    });
+    c.bench_function("tab2/baseline_row", |b| {
+        b.iter(|| black_box(range::kv_row(&testbed, None, &spec)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

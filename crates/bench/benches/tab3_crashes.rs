@@ -1,0 +1,34 @@
+//! TAB3: regenerates Table 3 (time to crash for Ext4, Ubuntu server, and
+//! RocksDB under the sustained best attack) and times each victim's
+//! crash harness.
+//!
+//! Paper rows: Ext4 80.0 s, Ubuntu 81.0 s, RocksDB 81.3 s.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_core::experiments::crash;
+use deepnote_core::report;
+use deepnote_core::testbed::Testbed;
+use deepnote_structures::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", report::render_table3(&crash::table3()));
+
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+    c.bench_function("tab3/ext4_crash", |b| {
+        b.iter(|| black_box(crash::ext4_crash(&testbed)))
+    });
+    c.bench_function("tab3/ubuntu_crash", |b| {
+        b.iter(|| black_box(crash::ubuntu_crash(&testbed)))
+    });
+    c.bench_function("tab3/rocksdb_crash", |b| {
+        b.iter(|| black_box(crash::rocksdb_crash(&testbed)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Bench host crate. The benches in `benches/` regenerate the paper's
+//! tables and figures (printing the rows/series once) and let Criterion
+//! time the harness itself. See DESIGN.md for the experiment index.

@@ -1,0 +1,199 @@
+//! The vibration-aware HDD block device.
+//!
+//! [`HddDisk`] pairs a sparse byte store with the mechanical
+//! [`HardDiskDrive`] model: every request is timed (and possibly failed)
+//! by the drive, so anything running on top — filesystem, database,
+//! benchmark — experiences the acoustic attack exactly as the drive does.
+
+use crate::device::{check_request, BlockDevice, BLOCK_SIZE};
+use crate::error::IoError;
+use deepnote_hdd::{DiskOp, HardDiskDrive, VibrationInput};
+use deepnote_sim::Clock;
+use std::collections::HashMap;
+
+/// A block device backed by the mechanical drive model.
+///
+/// # Example
+///
+/// ```
+/// use deepnote_blockdev::{BlockDevice, HddDisk};
+/// use deepnote_sim::Clock;
+///
+/// let clock = Clock::new();
+/// let mut disk = HddDisk::barracuda_500gb(clock.clone());
+/// let buf = vec![7u8; 4096];
+/// disk.write_blocks(0, &buf)?;
+/// assert!(clock.now().as_nanos() > 0); // the op took mechanical time
+/// # Ok::<(), deepnote_blockdev::IoError>(())
+/// ```
+#[derive(Debug)]
+pub struct HddDisk {
+    drive: HardDiskDrive,
+    blocks: HashMap<u64, Box<[u8; BLOCK_SIZE]>>,
+    read_errors: u64,
+    write_errors: u64,
+}
+
+impl HddDisk {
+    /// Wraps an existing drive.
+    pub fn new(drive: HardDiskDrive) -> Self {
+        HddDisk {
+            drive,
+            blocks: HashMap::new(),
+            read_errors: 0,
+            write_errors: 0,
+        }
+    }
+
+    /// The paper's Barracuda on the given clock.
+    pub fn barracuda_500gb(clock: Clock) -> Self {
+        HddDisk::new(HardDiskDrive::barracuda_500gb(clock))
+    }
+
+    /// A nearline enterprise drive with RV compensation (§5 "HDD types").
+    pub fn nearline_4tb(clock: Clock) -> Self {
+        HddDisk::new(HardDiskDrive::nearline_4tb(clock))
+    }
+
+    /// The underlying mechanical drive.
+    pub fn drive(&self) -> &HardDiskDrive {
+        &self.drive
+    }
+
+    /// Mutable access to the underlying drive (e.g. to swap the servo).
+    pub fn drive_mut(&mut self) -> &mut HardDiskDrive {
+        &mut self.drive
+    }
+
+    /// The drive's vibration input — clone this to mount the attack.
+    pub fn vibration(&self) -> VibrationInput {
+        self.drive.vibration().clone()
+    }
+
+    /// Failed read requests so far.
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors
+    }
+
+    /// Failed write requests so far.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+}
+
+impl BlockDevice for HddDisk {
+    fn num_blocks(&self) -> u64 {
+        self.drive.geometry().total_sectors()
+    }
+
+    fn read_blocks(&mut self, lba: u64, buf: &mut [u8]) -> Result<(), IoError> {
+        let blocks = check_request(self.num_blocks(), lba, buf.len())?;
+        if let Err(e) = self.drive.execute(DiskOp::read(lba, blocks)) {
+            self.read_errors += 1;
+            return Err(e.into());
+        }
+        for i in 0..blocks {
+            let dst = &mut buf[(i as usize) * BLOCK_SIZE..][..BLOCK_SIZE];
+            match self.blocks.get(&(lba + i)) {
+                Some(data) => dst.copy_from_slice(&data[..]),
+                None => dst.fill(0),
+            }
+        }
+        Ok(())
+    }
+
+    fn write_blocks(&mut self, lba: u64, buf: &[u8]) -> Result<(), IoError> {
+        let blocks = check_request(self.num_blocks(), lba, buf.len())?;
+        if let Err(e) = self.drive.execute(DiskOp::write(lba, blocks)) {
+            self.write_errors += 1;
+            return Err(e.into());
+        }
+        for i in 0..blocks {
+            let src = &buf[(i as usize) * BLOCK_SIZE..][..BLOCK_SIZE];
+            let mut block = Box::new([0u8; BLOCK_SIZE]);
+            block.copy_from_slice(src);
+            self.blocks.insert(lba + i, block);
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), IoError> {
+        // The model writes through; a flush is a (fast) no-op command.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepnote_acoustics::Frequency;
+    use deepnote_hdd::VibrationState;
+
+    #[test]
+    fn roundtrip_and_mechanical_time() {
+        let clock = Clock::new();
+        let mut disk = HddDisk::barracuda_500gb(clock.clone());
+        let data = vec![0x5Au8; 4096];
+        disk.write_blocks(100, &data).unwrap();
+        let mut out = vec![0u8; 4096];
+        disk.read_blocks(100, &mut out).unwrap();
+        assert_eq!(out, data);
+        // Both ops paid command overhead (~0.2 ms each) plus a seek for
+        // the first op's positioning.
+        assert!(clock.now().as_millis_f64() >= 0.3, "t = {}", clock.now());
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let clock = Clock::new();
+        let mut disk = HddDisk::barracuda_500gb(clock);
+        let mut out = vec![0xFFu8; 512];
+        disk.read_blocks(42, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn attack_makes_device_unresponsive() {
+        let clock = Clock::new();
+        let mut disk = HddDisk::barracuda_500gb(clock);
+        disk.vibration()
+            .set(Some(VibrationState::new(Frequency::from_hz(650.0), 0.5)));
+        let buf = vec![0u8; 4096];
+        assert_eq!(
+            disk.write_blocks(0, &buf).unwrap_err(),
+            IoError::NoResponse
+        );
+        assert_eq!(disk.write_errors(), 1);
+        // Stop the attack: the device recovers.
+        disk.vibration().clear();
+        assert!(disk.write_blocks(0, &buf).is_ok());
+    }
+
+    #[test]
+    fn data_not_modified_by_failed_write() {
+        let clock = Clock::new();
+        let mut disk = HddDisk::barracuda_500gb(clock);
+        let original = vec![1u8; 512];
+        disk.write_blocks(5, &original).unwrap();
+        disk.vibration()
+            .set(Some(VibrationState::new(Frequency::from_hz(650.0), 0.5)));
+        assert!(disk.write_blocks(5, &vec![2u8; 512]).is_err());
+        disk.vibration().clear();
+        let mut out = vec![0u8; 512];
+        disk.read_blocks(5, &mut out).unwrap();
+        assert_eq!(out, original);
+    }
+
+    #[test]
+    fn out_of_range_detected_before_mechanics() {
+        let clock = Clock::new();
+        let mut disk = HddDisk::barracuda_500gb(clock.clone());
+        let n = disk.num_blocks();
+        let t0 = clock.now();
+        assert_eq!(
+            disk.write_blocks(n, &vec![0u8; 512]).unwrap_err(),
+            IoError::OutOfRange
+        );
+        assert_eq!(clock.now(), t0);
+    }
+}

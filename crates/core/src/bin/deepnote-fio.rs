@@ -1,0 +1,144 @@
+//! `deepnote-fio`: run an fio-style job file against the simulated
+//! victim drive, optionally under acoustic attack.
+//!
+//! ```text
+//! deepnote-fio <jobfile> [--attack-hz F] [--distance-cm D] [--scenario 1|2|3]
+//! deepnote-fio --inline "rw=write bs=4k runtime=5" [...]
+//! ```
+
+use deepnote_acoustics::{Distance, Frequency};
+use deepnote_blockdev::HddDisk;
+use deepnote_core::testbed::Testbed;
+use deepnote_iobench::{parse_jobfile, run_job};
+use deepnote_sim::Clock;
+use deepnote_structures::Scenario;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+deepnote-fio — run fio job files against the simulated underwater drive
+
+USAGE:
+  deepnote-fio <jobfile> [flags]
+  deepnote-fio --inline \"rw=write bs=4k runtime=5\" [flags]
+
+FLAGS:
+  --attack-hz F      transmit a tone at F Hz during the run
+  --distance-cm D    speaker distance (default 1)
+  --scenario N       1 = plastic/floor, 2 = plastic/tower (default), 3 = metal/tower
+";
+
+fn parse_flags(args: &[String]) -> Result<(Option<String>, Vec<(String, String)>), String> {
+    let mut file = None;
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} needs a value"));
+            };
+            flags.push((name.to_string(), value.clone()));
+        } else if file.is_none() {
+            file = Some(a.clone());
+        } else {
+            return Err(format!("unexpected argument: {a}"));
+        }
+    }
+    Ok((file, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print!("{USAGE}");
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let (file, flags) = match parse_flags(&args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Job text: from file or --inline (space-separated key=value pairs).
+    let text = if let Some(inline) = flag(&flags, "inline") {
+        let body: String = inline
+            .split_whitespace()
+            .map(|kv| format!("{kv}\n"))
+            .collect();
+        format!("[inline]\n{body}")
+    } else if let Some(path) = file {
+        match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("error: no job file given\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let jobs = match parse_jobfile(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: job file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scenario = match flag(&flags, "scenario").unwrap_or("2") {
+        "1" => Scenario::PlasticDirect,
+        "2" => Scenario::PlasticTower,
+        "3" => Scenario::MetalTower,
+        other => {
+            eprintln!("error: bad --scenario {other} (expected 1, 2 or 3)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let attack_hz: Option<f64> = match flag(&flags, "attack-hz").map(str::parse).transpose() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: bad --attack-hz");
+            return ExitCode::FAILURE;
+        }
+    };
+    let distance_cm: f64 = match flag(&flags, "distance-cm").unwrap_or("1").parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: bad --distance-cm");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let clock = Clock::new();
+    let mut disk = HddDisk::barracuda_500gb(clock.clone());
+    println!("device: {}", disk.drive().geometry().name());
+    if let Some(hz) = attack_hz {
+        let testbed = Testbed::paper_default(scenario);
+        let v = testbed.vibration_at(Frequency::from_hz(hz), Distance::from_cm(distance_cm));
+        println!(
+            "attack: {hz} Hz at {distance_cm} cm ({scenario}) -> chassis {:.0} nm",
+            v.displacement_nm()
+        );
+        disk.vibration().set(Some(v));
+    }
+
+    for job in &jobs {
+        let report = run_job(job, &mut disk, &clock);
+        println!("\n{report}");
+    }
+    ExitCode::SUCCESS
+}

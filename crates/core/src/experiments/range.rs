@@ -1,0 +1,206 @@
+//! Tables 1 and 2: attack effectiveness vs distance (§4.2, §4.3).
+//!
+//! The paper fixes the best frequency (650 Hz, Scenario 2) and moves the
+//! speaker from 1 cm to 25 cm, measuring FIO sequential read/write
+//! (Table 1) and RocksDB `readwhilewriting` (Table 2) at each distance.
+
+use crate::testbed::Testbed;
+use crate::threat::AttackParams;
+use deepnote_acoustics::Distance;
+use deepnote_blockdev::HddDisk;
+use deepnote_iobench::{run_job, JobSpec};
+use deepnote_kv::{bench, Db};
+use deepnote_sim::{Clock, SimDuration};
+use deepnote_structures::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// The distances tested in the paper, in cm. `None` encodes the
+/// "No Attack" baseline row.
+pub fn paper_distances() -> Vec<Option<f64>> {
+    vec![
+        None,
+        Some(1.0),
+        Some(5.0),
+        Some(10.0),
+        Some(15.0),
+        Some(20.0),
+        Some(25.0),
+    ]
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FioRangeRow {
+    /// "No Attack" or "`<n>` cm".
+    pub label: String,
+    /// Sequential-read throughput, MB/s.
+    pub read_mb_s: f64,
+    /// Sequential-write throughput, MB/s.
+    pub write_mb_s: f64,
+    /// Mean read latency (ms), `None` = no response ("-").
+    pub read_latency_ms: Option<f64>,
+    /// Mean write latency (ms), `None` = no response ("-").
+    pub write_latency_ms: Option<f64>,
+}
+
+fn row_label(distance_cm: Option<f64>) -> String {
+    match distance_cm {
+        None => "No Attack".to_string(),
+        Some(cm) => format!("{cm:.0} cm"),
+    }
+}
+
+/// Runs one Table 1 row: fresh drive, attack mounted (or not), FIO read
+/// then write for `seconds` each.
+pub fn fio_row(
+    testbed: &Testbed,
+    distance_cm: Option<f64>,
+    seconds: u64,
+) -> FioRangeRow {
+    let clock = Clock::new();
+    let mut disk = HddDisk::barracuda_500gb(clock.clone());
+    if let Some(cm) = distance_cm {
+        let params = AttackParams::paper_best().at_distance(Distance::from_cm(cm));
+        testbed.mount_attack(&disk.vibration(), params);
+    }
+    let read = run_job(
+        &JobSpec::seq_read("t1-read").with_runtime(SimDuration::from_secs(seconds)),
+        &mut disk,
+        &clock,
+    );
+    let write = run_job(
+        &JobSpec::seq_write("t1-write").with_runtime(SimDuration::from_secs(seconds)),
+        &mut disk,
+        &clock,
+    );
+    FioRangeRow {
+        label: row_label(distance_cm),
+        read_mb_s: read.throughput_mb_s,
+        write_mb_s: write.throughput_mb_s,
+        read_latency_ms: read.mean_latency_ms,
+        write_latency_ms: write.mean_latency_ms,
+    }
+}
+
+/// Regenerates Table 1 (Scenario 2, 650 Hz).
+pub fn table1(seconds: u64) -> Vec<FioRangeRow> {
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+    paper_distances()
+        .into_iter()
+        .map(|d| fio_row(&testbed, d, seconds))
+        .collect()
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvRangeRow {
+    /// "No Attack" or "`<n>` cm".
+    pub label: String,
+    /// `readwhilewriting` payload throughput, MB/s.
+    pub throughput_mb_s: f64,
+    /// I/O rate in units of 100 000 ops/s (the paper's column).
+    pub io_rate_x100k: f64,
+    /// Virtual time at which the store crashed, if it did.
+    pub crashed_at_s: Option<f64>,
+}
+
+/// Runs one Table 2 row.
+pub fn kv_row(testbed: &Testbed, distance_cm: Option<f64>, spec: &bench::BenchSpec) -> KvRangeRow {
+    let clock = Clock::new();
+    let disk = HddDisk::barracuda_500gb(clock.clone());
+    let vibration = disk.vibration();
+    let mut db = Db::create(disk, clock).expect("fresh device formats cleanly");
+    bench::fill_seq(&mut db, spec).expect("load phase on quiet drive succeeds");
+    if let Some(cm) = distance_cm {
+        let params = AttackParams::paper_best().at_distance(Distance::from_cm(cm));
+        testbed.mount_attack(&vibration, params);
+    }
+    let report = bench::read_while_writing(&mut db, spec);
+    KvRangeRow {
+        label: row_label(distance_cm),
+        throughput_mb_s: report.throughput_mb_s,
+        io_rate_x100k: report.ops_per_s_x100k(),
+        crashed_at_s: report.crashed_at_s,
+    }
+}
+
+/// Regenerates Table 2 (Scenario 2, 650 Hz).
+pub fn table2(spec: &bench::BenchSpec) -> Vec<KvRangeRow> {
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+    paper_distances()
+        .into_iter()
+        .map(|d| kv_row(&testbed, d, spec))
+        .collect()
+}
+
+/// A `BenchSpec` sized for quick table regeneration.
+pub fn quick_kv_spec() -> bench::BenchSpec {
+    bench::BenchSpec {
+        num_keys: 20_000,
+        duration: SimDuration::from_secs(10),
+        ..bench::BenchSpec::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_shape() {
+        let rows = table1(3);
+        assert_eq!(rows.len(), 7);
+
+        // Baseline row: 18.0 / 22.7 MB/s, 0.2 ms.
+        let base = &rows[0];
+        assert_eq!(base.label, "No Attack");
+        assert!((base.read_mb_s - 18.0).abs() < 0.3, "{base:?}");
+        assert!((base.write_mb_s - 22.7).abs() < 0.3, "{base:?}");
+
+        // 1 cm and 5 cm: total blackout, no response.
+        for row in &rows[1..3] {
+            assert_eq!(row.read_mb_s, 0.0, "{row:?}");
+            assert_eq!(row.write_mb_s, 0.0, "{row:?}");
+            assert_eq!(row.read_latency_ms, None);
+            assert_eq!(row.write_latency_ms, None);
+        }
+
+        // 10 cm: reads degraded but alive, writes crawling (paper: 12.6
+        // read, 0.3 write).
+        let at10 = &rows[3];
+        assert!((8.0..16.0).contains(&at10.read_mb_s), "{at10:?}");
+        assert!(at10.write_mb_s < 2.0 && at10.write_mb_s > 0.0, "{at10:?}");
+
+        // 15 cm: reads ~full, writes still degraded.
+        let at15 = &rows[4];
+        assert!(at15.read_mb_s > 16.0, "{at15:?}");
+        assert!(at15.write_mb_s < 5.0, "{at15:?}");
+
+        // 20 and 25 cm: effectively recovered.
+        for row in &rows[5..] {
+            assert!(row.read_mb_s > 17.0, "{row:?}");
+            assert!(row.write_mb_s > 20.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn table2_matches_paper_shape() {
+        let spec = bench::BenchSpec {
+            num_keys: 5_000,
+            duration: SimDuration::from_secs(3),
+            ..bench::BenchSpec::default()
+        };
+        let rows = table2(&spec);
+        assert_eq!(rows.len(), 7);
+        let base = &rows[0];
+        assert!(base.throughput_mb_s > 5.0, "{base:?}");
+        assert!(base.io_rate_x100k > 0.6, "{base:?}");
+        // Blackout at 1 and 5 cm.
+        for row in &rows[1..3] {
+            assert!(row.throughput_mb_s < 0.2, "{row:?}");
+        }
+        // Recovery by 20 cm.
+        assert!(rows[5].throughput_mb_s > 0.8 * base.throughput_mb_s, "{:?}", rows[5]);
+        assert!(rows[6].throughput_mb_s > 0.8 * base.throughput_mb_s, "{:?}", rows[6]);
+    }
+}

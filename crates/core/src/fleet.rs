@@ -1,0 +1,176 @@
+//! A rack of victims: how much of a data-center deployment does one
+//! speaker take out?
+//!
+//! The paper attacks a single drive; an operator cares about blast
+//! radius. [`Fleet`] places several drives at increasing distances from
+//! the sound source (a column of enclosures, or one enclosure with a deep
+//! rack) and classifies each drive's state under a given attack.
+
+use crate::testbed::Testbed;
+use crate::threat::AttackParams;
+use deepnote_acoustics::Distance;
+use deepnote_hdd::{
+    steady_state, DiskOpKind, DriveGeometry, ServoModel, TimingModel, ToleranceModel,
+};
+use serde::{Deserialize, Serialize};
+
+/// Impact classification for one drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Impact {
+    /// No measurable effect (≥ 95 % of baseline write throughput).
+    Unaffected,
+    /// Degraded but serving.
+    Degraded,
+    /// Not serving I/O.
+    Blackout,
+}
+
+/// One drive's row in the fleet report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveImpact {
+    /// Index in the fleet.
+    pub index: usize,
+    /// Distance from the sound source.
+    pub distance_cm: f64,
+    /// Write throughput under attack, MB/s.
+    pub write_mb_s: f64,
+    /// Classification.
+    pub impact: Impact,
+}
+
+/// The aggregated result of attacking a fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-drive rows, nearest first.
+    pub drives: Vec<DriveImpact>,
+}
+
+impl FleetReport {
+    /// Number of drives in blackout.
+    pub fn blacked_out(&self) -> usize {
+        self.drives
+            .iter()
+            .filter(|d| d.impact == Impact::Blackout)
+            .count()
+    }
+
+    /// Number of drives degraded (including blackout).
+    pub fn affected(&self) -> usize {
+        self.drives
+            .iter()
+            .filter(|d| d.impact != Impact::Unaffected)
+            .count()
+    }
+}
+
+/// A line of drives at fixed spacing from the attack point.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    testbed: Testbed,
+    positions: Vec<Distance>,
+}
+
+impl Fleet {
+    /// Builds a fleet of `count` drives spaced `spacing` apart, the first
+    /// at `first` from the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(testbed: Testbed, first: Distance, spacing: Distance, count: usize) -> Self {
+        assert!(count > 0, "fleet must contain at least one drive");
+        let positions = (0..count)
+            .map(|i| Distance::from_m(first.m() + spacing.m() * i as f64))
+            .collect();
+        Fleet { testbed, positions }
+    }
+
+    /// The drive positions.
+    pub fn positions(&self) -> &[Distance] {
+        &self.positions
+    }
+
+    /// Classifies every drive under the given attack.
+    pub fn assess(&self, params: AttackParams) -> FleetReport {
+        let geo = DriveGeometry::barracuda_500gb();
+        let timing = TimingModel::barracuda_500gb();
+        let servo = ServoModel::typical();
+        let tol = ToleranceModel::typical();
+        let baseline =
+            steady_state(&geo, &timing, &servo, &tol, None, 8, DiskOpKind::Write).throughput_mb_s;
+
+        let drives = self
+            .positions
+            .iter()
+            .enumerate()
+            .map(|(index, &pos)| {
+                let v = self.testbed.vibration_at(params.frequency, pos);
+                let ss =
+                    steady_state(&geo, &timing, &servo, &tol, Some(&v), 8, DiskOpKind::Write);
+                let impact = if !ss.responsive() {
+                    Impact::Blackout
+                } else if ss.throughput_mb_s >= 0.95 * baseline {
+                    Impact::Unaffected
+                } else {
+                    Impact::Degraded
+                };
+                DriveImpact {
+                    index,
+                    distance_cm: pos.cm(),
+                    write_mb_s: ss.throughput_mb_s,
+                    impact,
+                }
+            })
+            .collect();
+        FleetReport { drives }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepnote_structures::Scenario;
+
+    fn fleet() -> Fleet {
+        Fleet::new(
+            Testbed::paper_default(Scenario::PlasticTower),
+            Distance::from_cm(1.0),
+            Distance::from_cm(5.0),
+            8,
+        )
+    }
+
+    #[test]
+    fn impact_decreases_with_distance() {
+        let report = fleet().assess(AttackParams::paper_best());
+        assert_eq!(report.drives.len(), 8);
+        // Nearest drives dead, farthest untouched.
+        assert_eq!(report.drives[0].impact, Impact::Blackout);
+        assert_eq!(report.drives.last().unwrap().impact, Impact::Unaffected);
+        // Monotone non-decreasing throughput along the line.
+        for pair in report.drives.windows(2) {
+            assert!(pair[1].write_mb_s >= pair[0].write_mb_s - 1e-9);
+        }
+        assert!(report.blacked_out() >= 1);
+        assert!(report.affected() > report.blacked_out() - 1);
+    }
+
+    #[test]
+    fn out_of_band_attack_hits_nothing() {
+        let params = AttackParams::paper_best()
+            .at_frequency(deepnote_acoustics::Frequency::from_khz(10.0));
+        let report = fleet().assess(params);
+        assert_eq!(report.affected(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_fleet_rejected() {
+        Fleet::new(
+            Testbed::paper_default(Scenario::PlasticTower),
+            Distance::from_cm(1.0),
+            Distance::from_cm(5.0),
+            0,
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Parallel experiment execution.
+//!
+//! Every experiment in this workspace is a self-contained virtual-time
+//! world (its own [`deepnote_sim::Clock`]), so independent operating
+//! points — table rows, sweep frequencies, fleet members — can run on
+//! real OS threads concurrently without sharing any state. [`run_all`]
+//! fans a set of closures across scoped crossbeam threads and returns
+//! their results in input order.
+
+/// Runs every job on its own scoped thread and collects the results in
+/// input order.
+///
+/// Panics in a job propagate to the caller (fail fast, like running the
+/// jobs inline would).
+///
+/// # Example
+///
+/// ```
+/// use deepnote_core::parallel::run_all;
+///
+/// let squares = run_all((0..8).map(|i| move || i * i).collect::<Vec<_>>());
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn run_all<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| scope.spawn(move |_| job()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::range;
+    use crate::testbed::Testbed;
+    use deepnote_structures::Scenario;
+
+    #[test]
+    fn preserves_input_order() {
+        let results = run_all(
+            (0..16)
+                .map(|i| move || format!("job {i}"))
+                .collect::<Vec<_>>(),
+        );
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r, &format!("job {i}"));
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let results: Vec<u32> = run_all(Vec::<fn() -> u32>::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn parallel_table1_matches_sequential() {
+        // Each row is an isolated world: running rows concurrently must
+        // give exactly the same table.
+        let sequential = range::table1(2);
+        let testbed = Testbed::paper_default(Scenario::PlasticTower);
+        let jobs: Vec<_> = range::paper_distances()
+            .into_iter()
+            .map(|d| {
+                let tb = testbed.clone();
+                move || range::fio_row(&tb, d, 2)
+            })
+            .collect();
+        let parallel = run_all(jobs);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "experiment thread panicked")]
+    fn job_panics_propagate() {
+        let _ = run_all(vec![|| -> u32 { panic!("boom") }]);
+    }
+}

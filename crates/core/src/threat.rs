@@ -1,0 +1,154 @@
+//! The threat model (paper §3).
+//!
+//! The adversary transmits underwater sound of controllable frequency and
+//! amplitude at a known enclosure location. They cannot tamper with
+//! hardware or software, attach anything to the enclosure, or use
+//! malware/network vectors. Two objectives are distinguished by severity:
+//! controlled throughput loss, and prolonged attacks that crash crucial
+//! processes.
+
+use deepnote_acoustics::{Distance, Frequency, SignalChain, Speaker, SweepPlan};
+use serde::{Deserialize, Serialize};
+
+/// What the adversary is trying to achieve (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackObjective {
+    /// Induce a controlled throughput loss for a bounded time, delaying
+    /// applications and processes.
+    ThroughputLoss,
+    /// Sustain the attack until crucial processes (filesystem, OS,
+    /// database) crash.
+    Crash,
+}
+
+/// The tunable attack parameters: what to transmit and from where.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackParams {
+    /// Transmitted tone frequency.
+    pub frequency: Frequency,
+    /// Speaker-to-enclosure distance.
+    pub distance: Distance,
+}
+
+impl AttackParams {
+    /// The paper's best attack parameters (§4.4): 650 Hz at 1 cm.
+    pub fn paper_best() -> Self {
+        AttackParams {
+            frequency: Frequency::from_hz(650.0),
+            distance: Distance::from_cm(1.0),
+        }
+    }
+
+    /// Same frequency, different distance.
+    pub fn at_distance(self, distance: Distance) -> Self {
+        AttackParams { distance, ..self }
+    }
+
+    /// Same distance, different frequency.
+    pub fn at_frequency(self, frequency: Frequency) -> Self {
+        AttackParams { frequency, ..self }
+    }
+}
+
+/// The adversary: equipment plus methodology (frequency sweep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attacker {
+    name: String,
+    chain: SignalChain,
+    sweep: SweepPlan,
+    objective: AttackObjective,
+}
+
+impl Attacker {
+    /// Builds an attacker from equipment.
+    pub fn new(
+        name: impl Into<String>,
+        chain: SignalChain,
+        sweep: SweepPlan,
+        objective: AttackObjective,
+    ) -> Self {
+        Attacker {
+            name: name.into(),
+            chain,
+            sweep,
+            objective,
+        }
+    }
+
+    /// The paper's attacker: a commercial AQ339 + TOA amplifier rig with
+    /// the §4.1 sweep methodology.
+    pub fn paper_attacker(objective: AttackObjective) -> Self {
+        Attacker::new(
+            "commercial rig (AQ339 + BG-2120)",
+            SignalChain::paper_setup(Frequency::from_hz(650.0)),
+            SweepPlan::paper_sweep(),
+            objective,
+        )
+    }
+
+    /// A better-funded adversary with a military-grade projector (§5
+    /// "Effective Range").
+    pub fn military_attacker(objective: AttackObjective) -> Self {
+        Attacker::new(
+            "military-grade projector",
+            SignalChain::new(
+                deepnote_acoustics::SineSource::new(Frequency::from_hz(650.0)),
+                deepnote_acoustics::Amplifier::toa_bg2120(),
+                Speaker::military_projector(),
+            ),
+            SweepPlan::paper_sweep(),
+            objective,
+        )
+    }
+
+    /// The attacker's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The signal chain (retune with [`SignalChain::retuned`]).
+    pub fn chain(&self) -> &SignalChain {
+        &self.chain
+    }
+
+    /// The sweep methodology.
+    pub fn sweep(&self) -> &SweepPlan {
+        &self.sweep
+    }
+
+    /// The stated objective.
+    pub fn objective(&self) -> AttackObjective {
+        self.objective
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_best_params() {
+        let p = AttackParams::paper_best();
+        assert_eq!(p.frequency.hz(), 650.0);
+        assert_eq!(p.distance.cm(), 1.0);
+    }
+
+    #[test]
+    fn params_builders() {
+        let p = AttackParams::paper_best()
+            .at_distance(Distance::from_cm(15.0))
+            .at_frequency(Frequency::from_hz(300.0));
+        assert_eq!(p.distance.cm(), 15.0);
+        assert_eq!(p.frequency.hz(), 300.0);
+    }
+
+    #[test]
+    fn attackers_differ_in_power() {
+        let commercial = Attacker::paper_attacker(AttackObjective::Crash);
+        let military = Attacker::military_attacker(AttackObjective::Crash);
+        let c_level = commercial.chain().emission().source_level.db();
+        let m_level = military.chain().emission().source_level.db();
+        assert!(m_level > c_level + 40.0);
+        assert_eq!(commercial.objective(), AttackObjective::Crash);
+    }
+}

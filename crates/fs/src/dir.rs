@@ -1,0 +1,165 @@
+//! Directory entry encoding.
+//!
+//! A directory's data is a flat sequence of variable-length entries:
+//! `| ino: u64 | name_len: u32 | name bytes |`. Names are UTF-8, 1–255
+//! bytes, and may not contain `/` or NUL.
+
+use crate::error::FsError;
+use crate::layout::{Reader, Writer};
+use serde::{Deserialize, Serialize};
+
+/// Maximum file-name length in bytes.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// One directory entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// Target inode number.
+    pub ino: u64,
+    /// Entry name (single path component).
+    pub name: String,
+}
+
+/// Validates a single path component.
+///
+/// # Errors
+///
+/// [`FsError::InvalidPath`] for empty, oversized, or malformed names.
+pub fn validate_name(name: &str) -> Result<(), FsError> {
+    if name.is_empty()
+        || name.len() > MAX_NAME_LEN
+        || name.contains('/')
+        || name.contains('\0')
+        || name == "."
+        || name == ".."
+    {
+        return Err(FsError::InvalidPath);
+    }
+    Ok(())
+}
+
+/// Splits an absolute path into validated components.
+///
+/// # Errors
+///
+/// [`FsError::InvalidPath`] unless the path starts with `/` and every
+/// component validates. The root path `/` yields an empty vector.
+pub fn split_path(path: &str) -> Result<Vec<&str>, FsError> {
+    let Some(rest) = path.strip_prefix('/') else {
+        return Err(FsError::InvalidPath);
+    };
+    let mut parts = Vec::new();
+    for part in rest.split('/') {
+        if part.is_empty() {
+            continue; // tolerate duplicate or trailing slashes
+        }
+        validate_name(part)?;
+        parts.push(part);
+    }
+    Ok(parts)
+}
+
+/// Serializes directory entries to the directory-file byte format.
+pub fn encode_entries(entries: &[DirEntry]) -> Vec<u8> {
+    let total: usize = entries.iter().map(|e| 12 + e.name.len()).sum();
+    let mut buf = vec![0u8; total];
+    let mut w = Writer::new(&mut buf);
+    for e in entries {
+        w.u64(e.ino);
+        w.u32(e.name.len() as u32);
+        w.bytes(e.name.as_bytes());
+    }
+    buf
+}
+
+/// Parses directory entries from directory-file bytes.
+///
+/// # Errors
+///
+/// [`FsError::BadSuperblock`] on a truncated or malformed entry stream.
+pub fn decode_entries(buf: &[u8]) -> Result<Vec<DirEntry>, FsError> {
+    let mut entries = Vec::new();
+    let mut r = Reader::new(buf);
+    while r.position() < buf.len() {
+        if buf.len() - r.position() < 12 {
+            return Err(FsError::BadSuperblock);
+        }
+        let ino = r.u64();
+        let len = r.u32() as usize;
+        if len == 0 || len > MAX_NAME_LEN || buf.len() - r.position() < len {
+            return Err(FsError::BadSuperblock);
+        }
+        let name = std::str::from_utf8(r.bytes(len))
+            .map_err(|_| FsError::BadSuperblock)?
+            .to_string();
+        entries.push(DirEntry { ino, name });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("log").is_ok());
+        assert!(validate_name(&"x".repeat(255)).is_ok());
+        assert_eq!(validate_name(""), Err(FsError::InvalidPath));
+        assert_eq!(validate_name(&"x".repeat(256)), Err(FsError::InvalidPath));
+        assert_eq!(validate_name("a/b"), Err(FsError::InvalidPath));
+        assert_eq!(validate_name("a\0b"), Err(FsError::InvalidPath));
+        assert_eq!(validate_name("."), Err(FsError::InvalidPath));
+        assert_eq!(validate_name(".."), Err(FsError::InvalidPath));
+    }
+
+    #[test]
+    fn path_splitting() {
+        assert_eq!(split_path("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(split_path("/var/log").unwrap(), vec!["var", "log"]);
+        assert_eq!(split_path("/var//log/").unwrap(), vec!["var", "log"]);
+        assert_eq!(split_path("relative"), Err(FsError::InvalidPath));
+        assert_eq!(split_path("/bad\0name"), Err(FsError::InvalidPath));
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let entries = vec![
+            DirEntry { ino: 2, name: "var".into() },
+            DirEntry { ino: 77, name: "журнал".into() },
+            DirEntry { ino: 3, name: "x".repeat(255) },
+        ];
+        let decoded = decode_entries(&encode_entries(&entries)).unwrap();
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn empty_directory() {
+        assert_eq!(decode_entries(&[]).unwrap(), vec![]);
+        assert!(encode_entries(&[]).is_empty());
+    }
+
+    #[test]
+    fn truncated_entries_rejected() {
+        let entries = vec![DirEntry { ino: 2, name: "var".into() }];
+        let buf = encode_entries(&entries);
+        assert!(decode_entries(&buf[..buf.len() - 1]).is_err());
+        assert!(decode_entries(&buf[..4]).is_err());
+    }
+
+    proptest! {
+        /// Any list of valid names round-trips.
+        #[test]
+        fn roundtrip_arbitrary(names in proptest::collection::vec("[a-zA-Z0-9_.-]{1,40}", 0..20)) {
+            let entries: Vec<DirEntry> = names
+                .into_iter()
+                .enumerate()
+                .filter(|(_, n)| n != "." && n != "..")
+                .map(|(i, name)| DirEntry { ino: i as u64 + 2, name })
+                .collect();
+            let decoded = decode_entries(&encode_entries(&entries)).unwrap();
+            prop_assert_eq!(decoded, entries);
+        }
+    }
+}

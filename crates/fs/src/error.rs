@@ -1,0 +1,92 @@
+//! Filesystem errors.
+
+use deepnote_blockdev::IoError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors surfaced by the filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsError {
+    /// An I/O error from the block layer that did not abort the journal
+    /// (e.g. an ordered-mode data write failing).
+    Io(IoError),
+    /// The journal has aborted; the filesystem is read-only. This is the
+    /// paper's observed Ext4 crash: "JBD error in code −5".
+    JournalAborted {
+        /// Kernel-convention (negative) errno, −5 in the paper.
+        errno: i32,
+    },
+    /// No free data blocks or inodes.
+    NoSpace,
+    /// Path component not found.
+    NotFound,
+    /// Path already exists.
+    AlreadyExists,
+    /// Operation requires a directory but found a file (or vice versa).
+    NotADirectory,
+    /// Operation requires a file but found a directory.
+    IsADirectory,
+    /// Directory not empty on unlink.
+    DirectoryNotEmpty,
+    /// Malformed path or name (empty, too long, bad characters).
+    InvalidPath,
+    /// The on-disk structures are not a valid filesystem.
+    BadSuperblock,
+    /// Read or write beyond the maximum supported file size.
+    FileTooLarge,
+}
+
+impl FsError {
+    /// Whether this error means the filesystem as a whole is dead (vs. a
+    /// single failed operation).
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, FsError::JournalAborted { .. } | FsError::BadSuperblock)
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::Io(e) => write!(f, "I/O error: {e}"),
+            FsError::JournalAborted { errno } => {
+                write!(f, "journal has aborted (JBD error {errno}); filesystem read-only")
+            }
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::AlreadyExists => write!(f, "file exists"),
+            FsError::NotADirectory => write!(f, "not a directory"),
+            FsError::IsADirectory => write!(f, "is a directory"),
+            FsError::DirectoryNotEmpty => write!(f, "directory not empty"),
+            FsError::InvalidPath => write!(f, "invalid path"),
+            FsError::BadSuperblock => write!(f, "bad superblock: not a filesystem"),
+            FsError::FileTooLarge => write!(f, "file too large"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<IoError> for FsError {
+    fn from(e: IoError) -> Self {
+        FsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fatal_classification() {
+        assert!(FsError::JournalAborted { errno: -5 }.is_fatal());
+        assert!(FsError::BadSuperblock.is_fatal());
+        assert!(!FsError::NotFound.is_fatal());
+        assert!(!FsError::Io(IoError::NoResponse).is_fatal());
+    }
+
+    #[test]
+    fn display_matches_paper_language() {
+        let e = FsError::JournalAborted { errno: -5 };
+        assert!(e.to_string().contains("JBD error -5"), "{e}");
+    }
+}

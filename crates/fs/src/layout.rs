@@ -1,0 +1,330 @@
+//! On-disk layout: superblock and region arithmetic.
+//!
+//! Filesystem blocks are 4 KiB (8 device blocks). The disk is laid out as
+//!
+//! ```text
+//! | sb | journal ........ | inode bmap | block bmap | inode table | data |
+//!   0    1 .. 1+J           fixed 1      B blocks     T blocks      rest
+//! ```
+
+use crate::error::FsError;
+use serde::{Deserialize, Serialize};
+
+/// Filesystem block size in bytes.
+pub const FS_BLOCK_SIZE: usize = 4096;
+/// Device (sector) blocks per filesystem block.
+pub const SECTORS_PER_FS_BLOCK: u64 = (FS_BLOCK_SIZE / 512) as u64;
+/// Magic number identifying a formatted filesystem ("DPNT").
+pub const MAGIC: u32 = 0x4450_4E54;
+/// Bytes reserved per on-disk inode.
+pub const INODE_DISK_SIZE: usize = 256;
+/// Inodes per table block.
+pub const INODES_PER_BLOCK: u64 = (FS_BLOCK_SIZE / INODE_DISK_SIZE) as u64;
+/// The root directory's inode number.
+pub const ROOT_INO: u64 = 1;
+
+/// Filesystem-wide mount state recorded in the superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SbState {
+    /// Cleanly unmounted.
+    Clean,
+    /// Mounted (or crashed while mounted): journal replay required.
+    Dirty,
+    /// The filesystem recorded a fatal error (journal abort).
+    HasError,
+}
+
+impl SbState {
+    fn to_u32(self) -> u32 {
+        match self {
+            SbState::Clean => 0,
+            SbState::Dirty => 1,
+            SbState::HasError => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            0 => Some(SbState::Clean),
+            1 => Some(SbState::Dirty),
+            2 => Some(SbState::HasError),
+            _ => None,
+        }
+    }
+}
+
+/// The superblock: geometry of every region plus mount state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Superblock {
+    /// Total filesystem blocks (including metadata regions).
+    pub total_blocks: u64,
+    /// Journal region start (fs block index).
+    pub journal_start: u64,
+    /// Journal region length in fs blocks (incl. its own superblock).
+    pub journal_blocks: u64,
+    /// Inode bitmap block index.
+    pub inode_bitmap_block: u64,
+    /// Block bitmap start block index.
+    pub block_bitmap_start: u64,
+    /// Number of block-bitmap blocks.
+    pub block_bitmap_blocks: u64,
+    /// Inode table start block index.
+    pub inode_table_start: u64,
+    /// Number of inode-table blocks.
+    pub inode_table_blocks: u64,
+    /// First data block index.
+    pub data_start: u64,
+    /// Total inodes.
+    pub total_inodes: u64,
+    /// Mount state.
+    pub state: SbState,
+    /// Errno recorded when `state == HasError` (kernel convention, ≤ 0).
+    pub error_code: i32,
+    /// Times this filesystem has been mounted.
+    pub mount_count: u32,
+}
+
+impl Superblock {
+    /// Computes a layout for a device of `device_blocks` 512-byte blocks.
+    ///
+    /// The filesystem caps itself at 4 GiB of managed space so bitmaps
+    /// stay small even on a 500 GB device (the paper's workloads never
+    /// exceed this).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoSpace`] if the device is too small (< ~10 MiB).
+    pub fn plan(device_blocks: u64) -> Result<Superblock, FsError> {
+        let fs_blocks_available = device_blocks / SECTORS_PER_FS_BLOCK;
+        let total_blocks = fs_blocks_available.min(4 * 1024 * 1024 * 1024 / FS_BLOCK_SIZE as u64);
+        if total_blocks < 2_560 {
+            return Err(FsError::NoSpace);
+        }
+        let journal_start = 1;
+        let journal_blocks = 1_024; // 4 MiB journal, like small ext4.
+        let inode_bitmap_block = journal_start + journal_blocks;
+        // One bitmap block indexes 4096*8 = 32768 blocks.
+        let bits_per_block = (FS_BLOCK_SIZE * 8) as u64;
+        let block_bitmap_start = inode_bitmap_block + 1;
+        let block_bitmap_blocks = total_blocks.div_ceil(bits_per_block);
+        let total_inodes = (bits_per_block).min(8_192);
+        let inode_table_start = block_bitmap_start + block_bitmap_blocks;
+        let inode_table_blocks = total_inodes.div_ceil(INODES_PER_BLOCK);
+        let data_start = inode_table_start + inode_table_blocks;
+        if data_start + 256 > total_blocks {
+            return Err(FsError::NoSpace);
+        }
+        Ok(Superblock {
+            total_blocks,
+            journal_start,
+            journal_blocks,
+            inode_bitmap_block,
+            block_bitmap_start,
+            block_bitmap_blocks,
+            inode_table_start,
+            inode_table_blocks,
+            data_start,
+            total_inodes,
+            state: SbState::Clean,
+            error_code: 0,
+            mount_count: 0,
+        })
+    }
+
+    /// Number of data blocks managed by the allocator.
+    pub fn data_blocks(&self) -> u64 {
+        self.total_blocks - self.data_start
+    }
+
+    /// Serializes the superblock into one filesystem block.
+    pub fn to_block(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; FS_BLOCK_SIZE];
+        let mut w = Writer::new(&mut buf);
+        w.u32(MAGIC);
+        w.u64(self.total_blocks);
+        w.u64(self.journal_start);
+        w.u64(self.journal_blocks);
+        w.u64(self.inode_bitmap_block);
+        w.u64(self.block_bitmap_start);
+        w.u64(self.block_bitmap_blocks);
+        w.u64(self.inode_table_start);
+        w.u64(self.inode_table_blocks);
+        w.u64(self.data_start);
+        w.u64(self.total_inodes);
+        w.u32(self.state.to_u32());
+        w.i32(self.error_code);
+        w.u32(self.mount_count);
+        buf
+    }
+
+    /// Parses a superblock from a filesystem block.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadSuperblock`] if the magic or fields are invalid.
+    pub fn from_block(buf: &[u8]) -> Result<Superblock, FsError> {
+        if buf.len() < FS_BLOCK_SIZE {
+            return Err(FsError::BadSuperblock);
+        }
+        let mut r = Reader::new(buf);
+        if r.u32() != MAGIC {
+            return Err(FsError::BadSuperblock);
+        }
+        let sb = Superblock {
+            total_blocks: r.u64(),
+            journal_start: r.u64(),
+            journal_blocks: r.u64(),
+            inode_bitmap_block: r.u64(),
+            block_bitmap_start: r.u64(),
+            block_bitmap_blocks: r.u64(),
+            inode_table_start: r.u64(),
+            inode_table_blocks: r.u64(),
+            data_start: r.u64(),
+            total_inodes: r.u64(),
+            state: SbState::from_u32(r.u32()).ok_or(FsError::BadSuperblock)?,
+            error_code: r.i32(),
+            mount_count: r.u32(),
+        };
+        if sb.data_start >= sb.total_blocks || sb.journal_blocks == 0 {
+            return Err(FsError::BadSuperblock);
+        }
+        Ok(sb)
+    }
+}
+
+/// Little-endian field writer over a byte buffer.
+pub(crate) struct Writer<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> Writer<'a> {
+    pub(crate) fn new(buf: &'a mut [u8]) -> Self {
+        Writer { buf, pos: 0 }
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn i32(&mut self, v: i32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.buf[self.pos..self.pos + v.len()].copy_from_slice(v);
+        self.pos += v.len();
+    }
+
+    /// Bytes written so far (used by tests; readers use their own).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Little-endian field reader over a byte buffer.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        v
+    }
+
+    pub(crate) fn i32(&mut self) -> i32 {
+        let v = i32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        v
+    }
+
+    pub(crate) fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> &'a [u8] {
+        let v = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        v
+    }
+
+    pub(crate) fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_regions_do_not_overlap() {
+        let sb = Superblock::plan(1 << 20).unwrap(); // 512 MiB device
+        assert!(sb.journal_start >= 1);
+        assert!(sb.inode_bitmap_block == sb.journal_start + sb.journal_blocks);
+        assert!(sb.block_bitmap_start > sb.inode_bitmap_block);
+        assert!(sb.inode_table_start >= sb.block_bitmap_start + sb.block_bitmap_blocks);
+        assert!(sb.data_start == sb.inode_table_start + sb.inode_table_blocks);
+        assert!(sb.data_start < sb.total_blocks);
+        assert!(sb.data_blocks() > 0);
+    }
+
+    #[test]
+    fn plan_caps_at_4gib() {
+        let sb = Superblock::plan(u64::MAX / 1024).unwrap();
+        assert_eq!(sb.total_blocks, 4 * 1024 * 1024 * 1024 / FS_BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn plan_rejects_tiny_devices() {
+        assert_eq!(Superblock::plan(100), Err(FsError::NoSpace));
+    }
+
+    #[test]
+    fn superblock_roundtrip() {
+        let mut sb = Superblock::plan(1 << 20).unwrap();
+        sb.state = SbState::HasError;
+        sb.error_code = -5;
+        sb.mount_count = 7;
+        let parsed = Superblock::from_block(&sb.to_block()).unwrap();
+        assert_eq!(parsed, sb);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; FS_BLOCK_SIZE];
+        assert_eq!(Superblock::from_block(&buf), Err(FsError::BadSuperblock));
+        assert_eq!(Superblock::from_block(&[0u8; 10]), Err(FsError::BadSuperblock));
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut buf = vec![0u8; 64];
+        let mut w = Writer::new(&mut buf);
+        w.u32(0xDEAD_BEEF);
+        w.i32(-42);
+        w.u64(123_456_789_000);
+        w.bytes(b"abc");
+        assert_eq!(w.position(), 19);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32(), 0xDEAD_BEEF);
+        assert_eq!(r.i32(), -42);
+        assert_eq!(r.u64(), 123_456_789_000);
+        assert_eq!(r.bytes(3), b"abc");
+        assert_eq!(r.position(), 19);
+    }
+}

@@ -1,0 +1,40 @@
+//! A Flexible-I/O-Tester-style benchmark harness on virtual time.
+//!
+//! The paper measures its victim drive with FIO (sequential read and
+//! sequential write, 4 KiB access granularity) and reports throughput in
+//! MB/s and latency in ms. This crate reproduces that methodology:
+//!
+//! * [`JobSpec`] — a declarative job description (pattern, block size,
+//!   runtime, working-set span) built fluently ([`job`]).
+//! * [`run_job`] — executes a job against any
+//!   [`deepnote_blockdev::BlockDevice`], driving the shared virtual clock
+//!   ([`runner`]).
+//! * [`JobReport`] — throughput / IOPS / latency percentiles / error
+//!   accounting, formatted like the paper's tables ([`report`]).
+//!
+//! # Example
+//!
+//! ```
+//! use deepnote_blockdev::MemDisk;
+//! use deepnote_iobench::{run_job, JobSpec};
+//! use deepnote_sim::{Clock, SimDuration};
+//!
+//! let clock = Clock::new();
+//! let mut disk = MemDisk::with_latency(1 << 20, clock.clone(), SimDuration::from_micros(200));
+//! let job = JobSpec::seq_write("demo")
+//!     .with_block_size(4096)
+//!     .with_span_bytes(1 << 24)
+//!     .with_runtime(SimDuration::from_secs(1));
+//! let report = run_job(&job, &mut disk, &clock);
+//! assert!(report.throughput_mb_s > 19.0 && report.throughput_mb_s < 22.0);
+//! ```
+
+pub mod job;
+pub mod parse;
+pub mod report;
+pub mod runner;
+
+pub use job::{AccessPattern, JobSpec};
+pub use parse::{parse_jobfile, ParseError};
+pub use report::JobReport;
+pub use runner::run_job;

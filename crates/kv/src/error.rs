@@ -1,0 +1,79 @@
+//! Database errors.
+
+use deepnote_fs::FsError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors surfaced by the key-value store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DbError {
+    /// An error from the filesystem layer.
+    Fs(FsError),
+    /// The WAL could not be persisted within the store's patience budget.
+    /// This is the paper's RocksDB crash: the process dies with a
+    /// `sync_without_flush` failure because incoming key-value pairs can
+    /// no longer be made durable.
+    WalSyncFailed,
+    /// A checksum mismatch while reading the WAL or an SSTable.
+    Corruption {
+        /// Human-readable context.
+        what: String,
+    },
+    /// The database has crashed (a previous fatal error); all further
+    /// operations are refused.
+    Closed,
+    /// Key or value exceeds the supported size.
+    TooLarge,
+}
+
+impl DbError {
+    /// Whether this error means the database process is dead.
+    pub fn is_fatal(&self) -> bool {
+        match self {
+            DbError::WalSyncFailed | DbError::Closed => true,
+            DbError::Fs(e) => e.is_fatal(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Fs(e) => write!(f, "filesystem error: {e}"),
+            DbError::WalSyncFailed => {
+                write!(f, "sync_without_flush failed: WAL cannot be persisted")
+            }
+            DbError::Corruption { what } => write!(f, "corruption detected: {what}"),
+            DbError::Closed => write!(f, "database is closed after a fatal error"),
+            DbError::TooLarge => write!(f, "key or value too large"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<FsError> for DbError {
+    fn from(e: FsError) -> Self {
+        DbError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fatal_classification() {
+        assert!(DbError::WalSyncFailed.is_fatal());
+        assert!(DbError::Closed.is_fatal());
+        assert!(DbError::Fs(FsError::JournalAborted { errno: -5 }).is_fatal());
+        assert!(!DbError::Fs(FsError::NotFound).is_fatal());
+        assert!(!DbError::Corruption { what: "x".into() }.is_fatal());
+    }
+
+    #[test]
+    fn crash_message_matches_paper() {
+        assert!(DbError::WalSyncFailed.to_string().contains("sync_without_flush"));
+    }
+}

@@ -1,0 +1,36 @@
+//! A minimal Ubuntu-server-like OS model.
+//!
+//! The paper's third victim is an Ubuntu 16.04 server whose root
+//! filesystem sits on the attacked drive: "Ubuntu crash happens with an
+//! indication of inability to access all files, including regular files
+//! and common Linux commands, such as ls. Moreover, the reported errors
+//! from dmesg indicate that the buffer I/O error on the storage device
+//! leads to OS crashing" (§4.4). This crate models exactly that surface:
+//!
+//! * [`KernelLog`] — a dmesg-style ring buffer ([`klog`]).
+//! * [`ServerOs`] — a server with a root filesystem, buffered writes with
+//!   a periodic writeback daemon, command execution that reads binaries
+//!   from disk (through the page cache), and crash escalation when the
+//!   root filesystem aborts ([`server`]).
+//!
+//! # Example
+//!
+//! ```
+//! use deepnote_blockdev::MemDisk;
+//! use deepnote_os::ServerOs;
+//! use deepnote_sim::Clock;
+//!
+//! let clock = Clock::new();
+//! let mut os = ServerOs::install(MemDisk::new(1 << 17), clock)?;
+//! let out = os.exec("ls")?;
+//! assert!(out.contains("bin"));
+//! # Ok::<(), deepnote_os::OsError>(())
+//! ```
+
+pub mod klog;
+pub mod server;
+pub mod service;
+
+pub use klog::{KernelLog, LogLevel};
+pub use server::{OsError, OsState, ServerOs};
+pub use service::{RestartPolicy, Service, ServiceManager, ServiceState};

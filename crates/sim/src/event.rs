@@ -1,0 +1,334 @@
+//! A discrete-event scheduler.
+//!
+//! Periodic background activities — journal commit timers, page-writeback
+//! daemons, attack schedules — register callbacks on an [`EventQueue`].
+//! Driving the queue with [`EventQueue::run_until`] fires the callbacks in
+//! timestamp order, advancing the shared [`Clock`] to each event's deadline.
+
+use crate::clock::Clock;
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+/// What the scheduler should do with a periodic event after it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repeat {
+    /// Fire once and forget.
+    Once,
+    /// Re-arm after the given period.
+    Every(SimDuration),
+}
+
+type Callback<'a> = Box<dyn FnMut(&mut EventCtx) + 'a>;
+
+/// Context handed to event callbacks.
+#[derive(Debug)]
+pub struct EventCtx {
+    now: SimTime,
+    cancel_self: bool,
+}
+
+impl EventCtx {
+    /// The instant the event fired at.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// For periodic events: do not re-arm after this firing.
+    pub fn cancel(&mut self) {
+        self.cancel_self = true;
+    }
+}
+
+struct Scheduled<'a> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    repeat: Repeat,
+    callback: Callback<'a>,
+}
+
+impl PartialEq for Scheduled<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled<'_> {}
+impl PartialOrd for Scheduled<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event queue bound to a [`Clock`].
+///
+/// Events scheduled for the same instant fire in insertion order.
+///
+/// # Example
+///
+/// ```
+/// use deepnote_sim::{Clock, EventQueue, SimDuration, SimTime};
+///
+/// let clock = Clock::new();
+/// let mut queue = EventQueue::new(clock.clone());
+/// let mut fired = 0u32;
+/// queue.schedule_every(SimDuration::from_secs(5), |_ctx| fired += 1);
+/// queue.run_until(SimTime::from_secs(21));
+/// drop(queue);
+/// assert_eq!(fired, 4); // t = 5, 10, 15, 20
+/// ```
+pub struct EventQueue<'a> {
+    clock: Clock,
+    heap: BinaryHeap<Reverse<Scheduled<'a>>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for EventQueue<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.clock.now())
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+impl<'a> EventQueue<'a> {
+    /// Creates an empty queue driving the given clock.
+    pub fn new(clock: Clock) -> Self {
+        EventQueue {
+            clock,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            next_id: 0,
+        }
+    }
+
+    /// The clock this queue advances.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len().min(self.heap.len())
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&mut self, at: SimTime, repeat: Repeat, callback: Callback<'a>) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq,
+            id,
+            repeat,
+            callback,
+        }));
+        id
+    }
+
+    /// Schedules `callback` to fire once at absolute time `at`.
+    ///
+    /// If `at` is in the past it fires at the current instant on the next
+    /// run.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        callback: impl FnMut(&mut EventCtx) + 'a,
+    ) -> EventId {
+        self.push(at, Repeat::Once, Box::new(callback))
+    }
+
+    /// Schedules `callback` to fire once after `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        callback: impl FnMut(&mut EventCtx) + 'a,
+    ) -> EventId {
+        let at = self.clock.now() + delay;
+        self.schedule_at(at, callback)
+    }
+
+    /// Schedules `callback` to fire every `period`, first firing one period
+    /// from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (the queue would livelock).
+    pub fn schedule_every(
+        &mut self,
+        period: SimDuration,
+        callback: impl FnMut(&mut EventCtx) + 'a,
+    ) -> EventId {
+        assert!(!period.is_zero(), "periodic event period must be non-zero");
+        let at = self.clock.now() + period;
+        self.push(at, Repeat::Every(period), Box::new(callback))
+    }
+
+    /// Cancels a pending event. Cancelling an already-fired or unknown event
+    /// is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Fires all events with deadlines `<= until`, advancing the clock to
+    /// each deadline and finally to `until`. Returns the number of callbacks
+    /// fired.
+    pub fn run_until(&mut self, until: SimTime) -> usize {
+        let mut fired = 0;
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.at > until {
+                break;
+            }
+            let Reverse(mut ev) = self.heap.pop().expect("peeked event vanished");
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.clock.advance_to(ev.at);
+            let mut ctx = EventCtx {
+                now: self.clock.now(),
+                cancel_self: false,
+            };
+            (ev.callback)(&mut ctx);
+            fired += 1;
+            if let Repeat::Every(period) = ev.repeat {
+                if !ctx.cancel_self {
+                    ev.at = ev.at + period;
+                    ev.seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.heap.push(Reverse(ev));
+                }
+            }
+        }
+        self.clock.advance_to(until);
+        fired
+    }
+
+    /// Fires all events for the next `d` of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) -> usize {
+        let until = self.clock.now() + d;
+        self.run_until(until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn one_shot_fires_in_order() {
+        let clock = Clock::new();
+        let log = RefCell::new(Vec::new());
+        let mut q = EventQueue::new(clock.clone());
+        q.schedule_at(SimTime::from_secs(2), |ctx| {
+            log.borrow_mut().push((2u64, ctx.now()));
+        });
+        q.schedule_at(SimTime::from_secs(1), |ctx| {
+            log.borrow_mut().push((1, ctx.now()));
+        });
+        let fired = q.run_until(SimTime::from_secs(3));
+        drop(q);
+        assert_eq!(fired, 2);
+        assert_eq!(
+            log.into_inner(),
+            vec![
+                (1, SimTime::from_secs(1)),
+                (2, SimTime::from_secs(2))
+            ]
+        );
+        assert_eq!(clock.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn same_deadline_fires_in_insertion_order() {
+        let clock = Clock::new();
+        let log = RefCell::new(Vec::new());
+        let mut q = EventQueue::new(clock);
+        for i in 0..5u32 {
+            let log = &log;
+            q.schedule_at(SimTime::from_secs(1), move |_| {
+                log.borrow_mut().push(i);
+            });
+        }
+        q.run_until(SimTime::from_secs(1));
+        drop(q);
+        assert_eq!(log.into_inner(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn periodic_event_repeats_and_cancels() {
+        let clock = Clock::new();
+        let count = RefCell::new(0u32);
+        let mut q = EventQueue::new(clock);
+        q.schedule_every(SimDuration::from_secs(10), |ctx| {
+            let mut c = count.borrow_mut();
+            *c += 1;
+            if *c == 3 {
+                ctx.cancel();
+            }
+        });
+        q.run_until(SimTime::from_secs(100));
+        assert!(q.is_empty());
+        drop(q);
+        assert_eq!(count.into_inner(), 3);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let clock = Clock::new();
+        let fired = RefCell::new(false);
+        let mut q = EventQueue::new(clock);
+        let id = q.schedule_in(SimDuration::from_secs(1), |_| {
+            *fired.borrow_mut() = true;
+        });
+        q.cancel(id);
+        assert!(q.is_empty());
+        q.run_until(SimTime::from_secs(2));
+        drop(q);
+        assert!(!fired.into_inner());
+    }
+
+    #[test]
+    fn events_scheduled_during_run_fire_if_due() {
+        let clock = Clock::new();
+        let hits = RefCell::new(Vec::new());
+        let mut q = EventQueue::new(clock);
+        // A periodic event that records; another event scheduled mid-run
+        // via interior state is covered by periodic re-arming above, so here
+        // just check run_for twice continues the timeline.
+        q.schedule_every(SimDuration::from_secs(3), |ctx| {
+            hits.borrow_mut().push(ctx.now().as_secs_f64() as u64);
+        });
+        q.run_for(SimDuration::from_secs(7)); // fires at 3, 6
+        q.run_for(SimDuration::from_secs(7)); // fires at 9, 12
+        drop(q);
+        assert_eq!(hits.into_inner(), vec![3, 6, 9, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_panics() {
+        let mut q = EventQueue::new(Clock::new());
+        q.schedule_every(SimDuration::ZERO, |_| {});
+    }
+}

@@ -1,0 +1,55 @@
+//! The §3 remote attacker: discover the vulnerable band from observed
+//! request latency alone — no access to the victim, as the paper's
+//! threat model requires.
+//!
+//! Run with: `cargo run --release -p deepnote-core --example adaptive_attacker`
+
+use deepnote_core::experiments::adaptive;
+use deepnote_core::prelude::*;
+
+fn main() {
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+    let plan = SweepPlan::paper_sweep();
+    println!(
+        "remote sweep {} .. {} against {}, speaker at 1 cm\n",
+        plan.start(),
+        plan.end(),
+        testbed.scenario()
+    );
+
+    let discovery = adaptive::remote_frequency_discovery(
+        &testbed,
+        Distance::from_cm(1.0),
+        &plan,
+        6,
+    );
+
+    println!(
+        "healthy baseline: {:.2} ms per request",
+        discovery.baseline_latency_ms
+    );
+    match discovery.vulnerable_band() {
+        Some((lo, hi)) => println!("vulnerable band discovered: {lo:.0}–{hi:.0} Hz"),
+        None => println!("no vulnerable frequencies found"),
+    }
+    if let Some(best) = discovery.best_frequency_hz {
+        println!("best attack frequency: {best:.0} Hz (paper chose 650 Hz)");
+    }
+
+    println!("\nper-probe detail (vulnerable probes only):");
+    for p in discovery.probes.iter().filter(|p| p.vulnerable) {
+        let lat = p
+            .mean_latency_ms
+            .map(|m| format!("{m:.1} ms"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "  {:>7.0} Hz: mean latency {:>8}, {} timeouts",
+            p.frequency_hz, lat, p.timeouts
+        );
+    }
+    println!(
+        "\ntotal probes: {} ({} vulnerable)",
+        discovery.probes.len(),
+        discovery.vulnerable_hz.len()
+    );
+}

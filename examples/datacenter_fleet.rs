@@ -1,0 +1,43 @@
+//! Blast radius: one speaker against a line of enclosed drives — the
+//! question an underwater data-center operator actually asks.
+//!
+//! Run with: `cargo run --release -p deepnote-core --example datacenter_fleet`
+
+use deepnote_core::fleet::{Fleet, Impact};
+use deepnote_core::prelude::*;
+
+fn main() {
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+    // Ten drives, 4 cm apart, nearest 1 cm from the source (a dense
+    // JBOD-style column).
+    let fleet = Fleet::new(
+        testbed,
+        Distance::from_cm(1.0),
+        Distance::from_cm(4.0),
+        10,
+    );
+
+    for &hz in &[650.0, 300.0, 1_300.0, 5_000.0] {
+        let params = AttackParams::paper_best().at_frequency(Frequency::from_hz(hz));
+        let report = fleet.assess(params);
+        println!(
+            "attack at {:>7.0} Hz: {} blackout, {} affected of {}",
+            hz,
+            report.blacked_out(),
+            report.affected(),
+            report.drives.len()
+        );
+        for d in &report.drives {
+            let marker = match d.impact {
+                Impact::Blackout => "XX",
+                Impact::Degraded => "~~",
+                Impact::Unaffected => "ok",
+            };
+            println!(
+                "   drive {:>2} at {:>5.1} cm: [{marker}] write {:>5.1} MB/s",
+                d.index, d.distance_cm, d.write_mb_s
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,35 @@
+//! §5 defense evaluation: liner, dampers, and an augmented servo against
+//! the paper's best attack, with the thermal trade-off.
+//!
+//! Run with: `cargo run --release -p deepnote-core --example defense_eval`
+
+use deepnote_core::defense;
+use deepnote_core::prelude::*;
+use deepnote_core::report;
+
+fn main() {
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+    println!(
+        "attack under evaluation: {} at {} ({})\n",
+        AttackParams::paper_best().frequency,
+        AttackParams::paper_best().distance,
+        testbed.scenario()
+    );
+    let outcomes = defense::evaluate_catalog(&testbed);
+    print!("{}", report::render_defenses(&outcomes));
+
+    println!("\nobservations:");
+    let baseline = &outcomes[0];
+    for o in &outcomes[1..] {
+        let gain = o.write_mb_s_at_paper_point - baseline.write_mb_s_at_paper_point;
+        let reach_drop = baseline.blackout_reach_cm.unwrap_or(0.0)
+            - o.blackout_reach_cm.unwrap_or(0.0);
+        println!(
+            "  {}: +{gain:.1} MB/s at the paper point, blackout reach shrinks {reach_drop:.0} cm, costs +{:.1} °C",
+            o.label, o.cooling_penalty_c
+        );
+    }
+    println!("\nthe paper's §5 caveat holds: the most acoustically effective passive");
+    println!("treatment (the liner) is also the most thermally expensive inside a");
+    println!("sealed nitrogen vessel.");
+}

@@ -1,0 +1,38 @@
+//! Figure 2 regeneration: the §4.1 frequency sweep over all three
+//! scenarios, printing the vulnerable bands and a TSV dump of the curves.
+//!
+//! Run with: `cargo run --release -p deepnote-core --example frequency_sweep`
+
+use deepnote_core::experiments::frequency;
+use deepnote_core::prelude::*;
+use deepnote_core::report;
+
+fn main() {
+    let plan = SweepPlan::paper_sweep();
+    let distance = Distance::from_cm(1.0);
+
+    println!("sweeping {} .. {} (paper §4.1 methodology)\n", plan.start(), plan.end());
+    let sweeps = frequency::figure2(distance, &plan);
+    print!("{}", report::render_figure2(&sweeps));
+
+    // Cross-validate a few points with the op-level drive.
+    println!("\ncross-validation (closed-form vs measured):");
+    for &hz in &[650.0, 5_000.0] {
+        let f = Frequency::from_hz(hz);
+        let (meas_r, meas_w) =
+            frequency::measure_point(Scenario::PlasticTower, f, distance, 3);
+        let sweep = &sweeps[1]; // Scenario 2
+        let model_w = sweep.write.nearest_y(hz).unwrap();
+        let model_r = sweep.read.nearest_y(hz).unwrap();
+        println!(
+            "  {f}: model R/W = {model_r:.1}/{model_w:.1} MB/s, measured = {meas_r:.1}/{meas_w:.1} MB/s"
+        );
+    }
+
+    // Full curves for plotting.
+    println!("\nTSV curves (write then read, per scenario):\n");
+    for sweep in &sweeps {
+        print!("{}", sweep.write.to_tsv());
+        print!("{}", sweep.read.to_tsv());
+    }
+}

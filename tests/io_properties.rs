@@ -1,0 +1,115 @@
+//! I/O-pattern assertions through the trace device: properties of *how*
+//! the stack talks to the disk, not just what ends up on it.
+
+use deepnote_blockdev::{MemDisk, TraceDevice, TraceKind};
+use deepnote_fs::{Filesystem, FS_BLOCK_SIZE};
+use deepnote_iobench::{parse_jobfile, run_job};
+use deepnote_sim::{Clock, SimDuration};
+
+const SECTORS_PER_FS_BLOCK: u64 = (FS_BLOCK_SIZE / 512) as u64;
+
+#[test]
+fn journal_record_is_one_contiguous_write() {
+    // The whole point of a journal on rotating media: the descriptor,
+    // images, and commit block go down as a single sequential request.
+    let clock = Clock::new();
+    let dev = TraceDevice::new(MemDisk::new(1 << 17), clock.clone(), 4_096);
+    let mut fs = Filesystem::format(dev, clock).unwrap();
+    fs.create_file("/f").unwrap();
+    fs.write_file("/f", 0, b"hello journal").unwrap();
+    fs.device_mut().clear();
+
+    fs.commit().unwrap();
+
+    let writes: Vec<_> = fs
+        .device_mut()
+        .trace()
+        .into_iter()
+        .filter(|e| e.kind == TraceKind::Write)
+        .collect();
+    assert!(!writes.is_empty());
+    // Find the journal-region write: it must cover ≥ 3 fs blocks
+    // (descriptor + ≥1 image + commit) in ONE request.
+    let journal_write = writes
+        .iter()
+        .find(|w| w.blocks >= 3 * SECTORS_PER_FS_BLOCK)
+        .unwrap_or_else(|| panic!("no contiguous journal record found in {writes:?}"));
+    assert_eq!(journal_write.error, None);
+    // And it lands in the journal region (fs blocks 1..1025).
+    let fs_block = journal_write.lba / SECTORS_PER_FS_BLOCK;
+    assert!((1..1025).contains(&fs_block), "journal write at fs block {fs_block}");
+}
+
+#[test]
+fn sequential_fio_job_issues_sequential_writes() {
+    let clock = Clock::new();
+    let jobs = parse_jobfile("[seq]\nrw=write\nbs=4k\nruntime=1\nsize=4m").unwrap();
+    let mut disk = TraceDevice::new(
+        MemDisk::with_latency(1 << 16, clock.clone(), SimDuration::from_micros(50)),
+        clock.clone(),
+        10_000,
+    );
+    let report = run_job(&jobs[0], &mut disk, &clock);
+    assert!(report.ops_completed > 1_000);
+    let seq = disk.write_sequentiality().expect("many writes traced");
+    // Sequential with wraparound: ≥ 99 % of transitions are contiguous.
+    assert!(seq > 0.99, "sequentiality = {seq}");
+}
+
+#[test]
+fn wal_append_traffic_is_append_only() {
+    use deepnote_kv::{Db, DbConfig};
+    let clock = Clock::new();
+    let dev = TraceDevice::new(MemDisk::new(1 << 18), clock.clone(), 100_000);
+    let mut db = Db::create_with(dev, clock, DbConfig::default()).unwrap();
+
+    // Three explicit WAL sync rounds: each round's log write must land
+    // strictly after the previous round's (append-only file growth).
+    let mut wal_write_starts = Vec::new();
+    for round in 0..3u32 {
+        db.filesystem_mut().device_mut().clear();
+        for i in 0..200u32 {
+            db.put(format!("r{round}-key{i:06}").as_bytes(), b"value-payload-xx")
+                .unwrap();
+        }
+        db.sync_wal().unwrap();
+        let first_data_write = db
+            .filesystem_mut()
+            .device_mut()
+            .trace()
+            .into_iter()
+            .find(|e| {
+                e.kind == TraceKind::Write && e.lba / SECTORS_PER_FS_BLOCK >= 1_090
+            })
+            .expect("a WAL data write must occur");
+        wal_write_starts.push(first_data_write.lba);
+    }
+    assert!(
+        wal_write_starts.windows(2).all(|w| w[1] >= w[0]),
+        "WAL writes must move forward: {wal_write_starts:?}"
+    );
+}
+
+#[test]
+fn attack_failures_cluster_in_trace() {
+    use deepnote_core::prelude::*;
+
+    let testbed = Testbed::paper_default(Scenario::PlasticTower);
+    let clock = Clock::new();
+    let inner = deepnote_blockdev::HddDisk::barracuda_500gb(clock.clone());
+    let vibration = inner.vibration();
+    let mut dev = TraceDevice::new(inner, clock.clone(), 10_000);
+
+    let buf = vec![0u8; 4096];
+    for i in 0..50u64 {
+        dev.write_blocks(i * 8, &buf).unwrap();
+    }
+    testbed.mount_attack(&vibration, AttackParams::paper_best());
+    for i in 50..60u64 {
+        let _ = dev.write_blocks(i * 8, &buf);
+    }
+    let trace = dev.trace();
+    let (healthy, attacked) = trace.split_at(50);
+    assert!(healthy.iter().all(|e| e.error.is_none()));
+    assert!(attacked.iter().all(|e| e.error.is_some()));
+}

@@ -1,0 +1,145 @@
+//! The headline reproduction assertions: every table and figure of the
+//! paper, checked for shape (and, where the model is calibrated, for
+//! near-exact values).
+
+use deepnote_acoustics::{Distance, SweepPlan};
+use deepnote_core::experiments::{crash, frequency, range};
+use deepnote_kv::bench::BenchSpec;
+use deepnote_sim::SimDuration;
+use deepnote_structures::Scenario;
+
+#[test]
+fn table1_values() {
+    let rows = range::table1(5);
+
+    // Paper: No Attack 18.0 / 22.7 MB/s at 0.2 ms.
+    assert!((rows[0].read_mb_s - 18.0).abs() < 0.2, "{:?}", rows[0]);
+    assert!((rows[0].write_mb_s - 22.7).abs() < 0.2, "{:?}", rows[0]);
+    assert!((rows[0].read_latency_ms.unwrap() - 0.23).abs() < 0.05);
+
+    // Paper: 1 cm and 5 cm rows are 0 / 0 with "-" latency.
+    for i in [1, 2] {
+        assert_eq!(rows[i].read_mb_s, 0.0);
+        assert_eq!(rows[i].write_mb_s, 0.0);
+        assert!(rows[i].read_latency_ms.is_none());
+        assert!(rows[i].write_latency_ms.is_none());
+    }
+
+    // Paper: 10 cm = 12.6 read / 0.3 write. Calibrated: match within 15%.
+    assert!((rows[3].read_mb_s - 12.6).abs() < 2.0, "{:?}", rows[3]);
+    assert!((rows[3].write_mb_s - 0.3).abs() < 0.3, "{:?}", rows[3]);
+
+    // Paper: 15 cm = 17.6 read / 2.9 write; we accept read ≥ 16 and
+    // write in the severely-degraded class (0.3–3).
+    assert!(rows[4].read_mb_s > 16.0, "{:?}", rows[4]);
+    assert!((0.2..3.5).contains(&rows[4].write_mb_s), "{:?}", rows[4]);
+
+    // Paper: 20–25 cm recovered (read ≥ 17.6, write ≥ 21).
+    for i in [5, 6] {
+        assert!(rows[i].read_mb_s > 17.0, "{:?}", rows[i]);
+        assert!(rows[i].write_mb_s > 21.0, "{:?}", rows[i]);
+    }
+
+    // Monotonicity: farther is never worse.
+    for pair in rows[1..].windows(2) {
+        assert!(pair[1].read_mb_s >= pair[0].read_mb_s - 0.5);
+        assert!(pair[1].write_mb_s >= pair[0].write_mb_s - 0.5);
+    }
+}
+
+#[test]
+fn table2_values() {
+    let spec = BenchSpec {
+        num_keys: 20_000,
+        duration: SimDuration::from_secs(10),
+        ..BenchSpec::default()
+    };
+    let rows = range::table2(&spec);
+
+    // Paper: No Attack 8.7 MB/s and 1.1 ×100k ops/s. Calibrated within 10%.
+    assert!((rows[0].throughput_mb_s - 8.7).abs() < 0.9, "{:?}", rows[0]);
+    assert!((rows[0].io_rate_x100k - 1.1).abs() < 0.15, "{:?}", rows[0]);
+
+    // Paper: zero at 1 and 5 cm (the store crashes mid-run).
+    for i in [1, 2] {
+        assert!(rows[i].throughput_mb_s < 0.1, "{:?}", rows[i]);
+        assert!(rows[i].crashed_at_s.is_some());
+    }
+
+    // Paper: 15 cm degraded but serving (3.7 / 0.9).
+    assert!(rows[4].throughput_mb_s > 0.5, "{:?}", rows[4]);
+    assert!(rows[4].throughput_mb_s < 0.8 * rows[0].throughput_mb_s);
+
+    // Paper: 20–25 cm ≈ baseline (8.6 / 1.1).
+    for i in [5, 6] {
+        assert!(
+            rows[i].throughput_mb_s > 0.93 * rows[0].throughput_mb_s,
+            "{:?}",
+            rows[i]
+        );
+    }
+}
+
+#[test]
+fn table3_values() {
+    let rows = crash::table3();
+    let times: Vec<f64> = rows.iter().map(|r| r.time_to_crash_s.unwrap()).collect();
+
+    // Paper: 80.0 / 81.0 / 81.3 seconds, mean 80.8. Ours must land in
+    // the same window with the same mean class.
+    for (row, t) in rows.iter().zip(&times) {
+        assert!((75.0..90.0).contains(t), "{}: {t}", row.application);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    assert!((78.0..85.0).contains(&mean), "mean = {mean}");
+
+    // Error signatures.
+    assert!(rows[0].error.contains("JBD error -5"), "{}", rows[0].error);
+    assert!(rows[1].error.contains("-5"), "{}", rows[1].error);
+    assert!(rows[2].error.contains("sync_without_flush"), "{}", rows[2].error);
+}
+
+#[test]
+fn figure2_bands() {
+    let sweeps = frequency::figure2(Distance::from_cm(1.0), &SweepPlan::paper_sweep());
+    assert_eq!(sweeps.len(), 3);
+
+    for sweep in &sweeps {
+        // Paper: "throughput losses occur in all three scenarios at the
+        // frequency range between 300 Hz to 1.7 kHz".
+        let (lo, hi) = sweep.write_dead_band(1.0).expect("dead band exists");
+        assert!(lo >= 100.0 && lo <= 450.0, "{}: band starts {lo}", sweep.scenario);
+        assert!(hi <= 1_800.0, "{}: band ends {hi}", sweep.scenario);
+
+        // Paper: "major throughput degradation during write operations
+        // compared to read": write band at least as wide as read band.
+        let (rlo, rhi) = sweep.read_dead_band(1.0).expect("read band exists");
+        assert!(rhi - rlo <= hi - lo + 1.0, "{}", sweep.scenario);
+
+        // No effect at the top of the sweep.
+        assert!(sweep.write.nearest_y(16_900.0).unwrap() > 22.0);
+        assert!(sweep.read.nearest_y(16_900.0).unwrap() > 17.5);
+    }
+
+    // Scenario 3 (metal): write band ends by ~1.3 kHz, read by ~1.1 kHz
+    // (paper: 1.3 kHz and 800 Hz).
+    let s3 = &sweeps[2];
+    let (_, w_hi) = s3.write_dead_band(1.0).unwrap();
+    let (_, r_hi) = s3.read_dead_band(1.0).unwrap();
+    assert!((1_000.0..1_500.0).contains(&w_hi), "S3 write band ends {w_hi}");
+    assert!(r_hi < w_hi, "S3 read band ({r_hi}) must end below write band ({w_hi})");
+}
+
+#[test]
+fn scenario_ordering_as_in_figure2() {
+    // At mid-band with the tower, Scenario 2 dips at least as hard as
+    // Scenario 1 (the rack amplifies).
+    let sweeps = frequency::figure2(Distance::from_cm(1.0), &SweepPlan::paper_sweep());
+    let s1_band = sweeps[0].write_dead_band(1.0).unwrap();
+    let s2_band = sweeps[1].write_dead_band(1.0).unwrap();
+    assert!(
+        s2_band.1 - s2_band.0 >= s1_band.1 - s1_band.0,
+        "S2 {s2_band:?} vs S1 {s1_band:?}"
+    );
+    let _ = Scenario::ALL;
+}
