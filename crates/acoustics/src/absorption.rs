@@ -52,11 +52,8 @@ pub fn absorption_db_per_km(f: Frequency, w: &WaterConditions) -> f64 {
     // Boric acid term.
     let boric = 0.106 * (f1 * f_sq) / (f1 * f1 + f_sq) * ((ph - 8.0) / 0.56).exp();
     // Magnesium sulfate term.
-    let mgso4 = 0.52
-        * (1.0 + t / 43.0)
-        * (s / 35.0)
-        * (f2 * f_sq) / (f2 * f2 + f_sq)
-        * (-z_km / 6.0).exp();
+    let mgso4 =
+        0.52 * (1.0 + t / 43.0) * (s / 35.0) * (f2 * f_sq) / (f2 * f2 + f_sq) * (-z_km / 6.0).exp();
     // Pure water (viscous) term.
     let water = 0.00049 * f_sq * (-(t / 27.0 + z_km / 17.0)).exp();
 

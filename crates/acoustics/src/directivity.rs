@@ -108,10 +108,20 @@ mod tests {
 
     #[test]
     fn on_axis_is_unity() {
-        let d = piston_directivity(Frequency::from_hz(650.0), Distance::from_cm(6.0), &water(), 0.0);
+        let d = piston_directivity(
+            Frequency::from_hz(650.0),
+            Distance::from_cm(6.0),
+            &water(),
+            0.0,
+        );
         assert_eq!(d, 1.0);
         assert_eq!(
-            off_axis_attenuation_db(Frequency::from_khz(30.0), Distance::from_cm(6.0), &water(), 0.0),
+            off_axis_attenuation_db(
+                Frequency::from_khz(30.0),
+                Distance::from_cm(6.0),
+                &water(),
+                0.0
+            ),
             0.0
         );
     }
@@ -130,8 +140,10 @@ mod tests {
                 std::f64::consts::FRAC_PI_2,
             );
             assert!(att < 0.5, "{hz} Hz: {att} dB at 90°");
-            assert!(half_power_beamwidth_rad(Frequency::from_hz(hz), Distance::from_cm(6.0), &w)
-                .is_none());
+            assert!(
+                half_power_beamwidth_rad(Frequency::from_hz(hz), Distance::from_cm(6.0), &w)
+                    .is_none()
+            );
         }
     }
 

@@ -45,7 +45,10 @@ pub mod units;
 pub use absorption::absorption_db_per_km;
 pub use directivity::{half_power_beamwidth_rad, off_axis_attenuation_db, piston_directivity};
 pub use medium::{Medium, WaterConditions};
-pub use propagation::{lloyd_mirror_factor, max_effective_range_m, received_spl, received_spl_lloyd, received_spl_with, transmission_loss_db, PropagationModel};
+pub use propagation::{
+    lloyd_mirror_factor, max_effective_range_m, received_spl, received_spl_lloyd,
+    received_spl_with, transmission_loss_db, PropagationModel,
+};
 pub use source::{AcousticEmission, Amplifier, SignalChain, SineSource, Speaker};
 pub use spl::{Spl, SplReference};
 pub use sweep::{SweepPlan, SweepStep};
@@ -58,7 +61,10 @@ pub mod prelude {
         half_power_beamwidth_rad, off_axis_attenuation_db, piston_directivity,
     };
     pub use crate::medium::{Medium, WaterConditions};
-    pub use crate::propagation::{lloyd_mirror_factor, max_effective_range_m, received_spl, received_spl_lloyd, received_spl_with, transmission_loss_db, PropagationModel};
+    pub use crate::propagation::{
+        lloyd_mirror_factor, max_effective_range_m, received_spl, received_spl_lloyd,
+        received_spl_with, transmission_loss_db, PropagationModel,
+    };
     pub use crate::source::{AcousticEmission, Amplifier, SignalChain, SineSource, Speaker};
     pub use crate::spl::{Spl, SplReference};
     pub use crate::sweep::{SweepPlan, SweepStep};

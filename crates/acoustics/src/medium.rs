@@ -102,7 +102,11 @@ impl WaterConditions {
     /// Planned Hainan (Offshore Oil Engineering Co.) deployment, ~20 m deep
     /// warm seawater (paper ref. \[35\]).
     pub fn hainan_seawater() -> Self {
-        WaterConditions::new(Celsius::new(24.0), Salinity::from_psu(33.0), Depth::from_m(20.0))
+        WaterConditions::new(
+            Celsius::new(24.0),
+            Salinity::from_psu(33.0),
+            Depth::from_m(20.0),
+        )
     }
 
     /// Water temperature.
@@ -143,7 +147,8 @@ impl WaterConditions {
         let t = self.temperature.deg_c();
         let s = self.salinity.psu();
         let z = self.depth.m();
-        1449.2 + 4.6 * t - 0.055 * t * t + 0.00029 * t * t * t
+        1449.2 + 4.6 * t - 0.055 * t * t
+            + 0.00029 * t * t * t
             + (1.34 - 0.010 * t) * (s - 35.0)
             + 0.016 * z
     }
@@ -184,8 +189,8 @@ mod tests {
     fn water_speed_about_4x_air() {
         // §2.2: "Sound wave travels approximately 4 times faster in water
         // than air."
-        let ratio = WaterConditions::tank_freshwater().sound_speed_m_s()
-            / Medium::Air.sound_speed_m_s();
+        let ratio =
+            WaterConditions::tank_freshwater().sound_speed_m_s() / Medium::Air.sound_speed_m_s();
         assert!((3.9..4.6).contains(&ratio), "ratio = {ratio}");
     }
 
@@ -193,7 +198,11 @@ mod tests {
     fn impedance_ordering() {
         let air = Medium::Air.impedance_rayl();
         let water = Medium::Water(WaterConditions::tank_freshwater()).impedance_rayl();
-        assert!(water / air > 3_000.0, "water/air impedance = {}", water / air);
+        assert!(
+            water / air > 3_000.0,
+            "water/air impedance = {}",
+            water / air
+        );
         let n2 = Medium::Nitrogen.impedance_rayl();
         assert!((n2 - air).abs() / air < 0.1);
     }

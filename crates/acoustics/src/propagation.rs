@@ -91,11 +91,7 @@ pub fn transmission_loss_db(
 
 /// The SPL received at `range` from the emitting source, using spherical
 /// spreading. See [`received_spl_with`] to choose the spreading model.
-pub fn received_spl(
-    emission: &AcousticEmission,
-    range: Distance,
-    water: &WaterConditions,
-) -> Spl {
+pub fn received_spl(emission: &AcousticEmission, range: Distance, water: &WaterConditions) -> Spl {
     received_spl_with(emission, range, water, PropagationModel::Spherical)
 }
 
@@ -160,9 +156,7 @@ pub fn received_spl_lloyd(
     target_depth_m: f64,
 ) -> Spl {
     let dz = source_depth_m - target_depth_m;
-    let slant = Distance::from_m(
-        (horizontal_range_m * horizontal_range_m + dz * dz).sqrt(),
-    );
+    let slant = Distance::from_m((horizontal_range_m * horizontal_range_m + dz * dz).sqrt());
     let factor = lloyd_mirror_factor(
         emission.frequency,
         water,
@@ -239,7 +233,11 @@ mod tests {
             assert!(pair[0] > pair[1], "levels not decreasing: {levels:?}");
         }
         // The whole tank-scale span stays within ~15 dB: near-field.
-        assert!(levels[0] - levels[5] < 16.0, "span = {}", levels[0] - levels[5]);
+        assert!(
+            levels[0] - levels[5] < 16.0,
+            "span = {}",
+            levels[0] - levels[5]
+        );
     }
 
     #[test]
@@ -356,7 +354,10 @@ mod tests {
             PropagationModel::Spherical,
         );
         let mirrored = received_spl_lloyd(&e, &w, 10_000.0, 2.0, 36.0);
-        assert!(mirrored.db() < free.db() - 10.0, "mirrored {mirrored} vs free {free}");
+        assert!(
+            mirrored.db() < free.db() - 10.0,
+            "mirrored {mirrored} vs free {free}"
+        );
     }
 
     proptest! {

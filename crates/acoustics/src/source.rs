@@ -290,11 +290,12 @@ impl SignalChain {
     pub fn emission(&self) -> AcousticEmission {
         // Drive (≤0 dBFS) through the amp, then re-referenced so that the
         // full-scale line level maps to the speaker's maximum output.
-        let line_db =
-            self.amplifier.amplify_db(self.source.drive_db()) - Self::FULL_SCALE_LINE_DB;
+        let line_db = self.amplifier.amplify_db(self.source.drive_db()) - Self::FULL_SCALE_LINE_DB;
         AcousticEmission {
             frequency: self.source.frequency(),
-            source_level: self.speaker.radiate(line_db.min(0.0), self.source.frequency()),
+            source_level: self
+                .speaker
+                .radiate(line_db.min(0.0), self.source.frequency()),
             source_radius: self.speaker.radius(),
         }
     }
@@ -357,7 +358,10 @@ mod tests {
         );
         let retuned = chain.retuned(Frequency::from_hz(650.0));
         assert_eq!(retuned.frequency().hz(), 650.0);
-        assert_eq!(retuned.emission().source_level, chain.emission().source_level);
+        assert_eq!(
+            retuned.emission().source_level,
+            chain.emission().source_level
+        );
     }
 
     #[test]

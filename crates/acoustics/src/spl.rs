@@ -126,9 +126,7 @@ impl Spl {
     pub fn to_water_reference(self) -> Spl {
         match self.reference {
             SplReference::Water1uPa => self,
-            SplReference::Air20uPa => {
-                Spl::water_db(self.db + AIR_TO_WATER_REFERENCE_DB)
-            }
+            SplReference::Air20uPa => Spl::water_db(self.db + AIR_TO_WATER_REFERENCE_DB),
         }
     }
 

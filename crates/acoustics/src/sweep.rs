@@ -103,11 +103,7 @@ impl SweepPlan {
     /// # Panics
     ///
     /// Panics if `lo >= hi`.
-    pub fn fine_steps(
-        &self,
-        lo: Frequency,
-        hi: Frequency,
-    ) -> impl Iterator<Item = SweepStep> + '_ {
+    pub fn fine_steps(&self, lo: Frequency, hi: Frequency) -> impl Iterator<Item = SweepStep> + '_ {
         assert!(lo.hz() < hi.hz(), "refinement band must be non-empty");
         let lo_hz = lo.hz().max(self.start.hz());
         let hi_hz = hi.hz().min(self.end.hz());
@@ -216,6 +212,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty")]
     fn empty_band_panics() {
-        SweepPlan::new(Frequency::from_hz(500.0), Frequency::from_hz(100.0), 10.0, 5.0);
+        SweepPlan::new(
+            Frequency::from_hz(500.0),
+            Frequency::from_hz(100.0),
+            10.0,
+            5.0,
+        );
     }
 }

@@ -10,7 +10,11 @@ use serde::{Deserialize, Serialize};
 
 macro_rules! assert_finite {
     ($v:expr, $what:literal) => {
-        assert!($v.is_finite(), concat!($what, " must be finite, got {}"), $v)
+        assert!(
+            $v.is_finite(),
+            concat!($what, " must be finite, got {}"),
+            $v
+        )
     };
 }
 
@@ -276,7 +280,10 @@ impl Depth {
     /// Panics if negative, non-finite, or deeper than the ocean (11 km).
     pub fn from_m(m: f64) -> Self {
         assert_finite!(m, "depth");
-        assert!((0.0..=11_000.0).contains(&m), "depth {m} m outside 0..11000");
+        assert!(
+            (0.0..=11_000.0).contains(&m),
+            "depth {m} m outside 0..11000"
+        );
         Depth(m)
     }
 

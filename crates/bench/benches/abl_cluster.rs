@@ -1,0 +1,40 @@
+//! ABL-CLUSTER: replicated-service availability under attack — the full
+//! campaign event loop (quorum serving, failure detection, failover,
+//! re-replication) for both placement policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_cluster::prelude::*;
+use deepnote_sim::SimDuration;
+use std::hint::black_box;
+
+fn short_duel(placement: PlacementPolicy) -> CampaignConfig {
+    let mut c = CampaignConfig::paper_duel(placement, SimDuration::from_secs(30));
+    c.workload.num_keys = 240;
+    c.workload.clients = 4;
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    let reports: Vec<_> = run_matrix(vec![
+        short_duel(PlacementPolicy::Separated),
+        short_duel(PlacementPolicy::CoLocated),
+    ])
+    .into_iter()
+    .map(|r| r.expect("campaign run"))
+    .collect();
+    println!("\n{}", render_duel(&reports));
+    for placement in [PlacementPolicy::Separated, PlacementPolicy::CoLocated] {
+        let config = short_duel(placement);
+        c.bench_function(
+            &format!("abl_cluster/campaign_{}", placement.label()),
+            |b| b.iter(|| black_box(run_campaign(&config))),
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

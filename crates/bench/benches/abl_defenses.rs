@@ -10,7 +10,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let testbed = Testbed::paper_default(Scenario::PlasticTower);
-    println!("\n{}", report::render_defenses(&defense::evaluate_catalog(&testbed)));
+    println!(
+        "\n{}",
+        report::render_defenses(&defense::evaluate_catalog(&testbed))
+    );
     c.bench_function("abl_defenses/catalog", |b| {
         b.iter(|| black_box(defense::evaluate_catalog(&testbed)))
     });

@@ -10,7 +10,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let testbed = Testbed::paper_default(Scenario::PlasticTower);
-    println!("\n{}", stealth::render(&stealth::duty_cycle_sweep(&testbed)));
+    println!(
+        "\n{}",
+        stealth::render(&stealth::duty_cycle_sweep(&testbed))
+    );
     c.bench_function("abl_stealth/duty_cycle_sweep", |b| {
         b.iter(|| black_box(stealth::duty_cycle_sweep(&testbed)))
     });

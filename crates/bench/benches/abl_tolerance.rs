@@ -7,7 +7,10 @@ use deepnote_core::report;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("\n{}", report::render_tolerance(&ablations::tolerance_sensitivity()));
+    println!(
+        "\n{}",
+        report::render_tolerance(&ablations::tolerance_sensitivity())
+    );
     c.bench_function("abl_tolerance/sweep", |b| {
         b.iter(|| black_box(ablations::tolerance_sensitivity()))
     });

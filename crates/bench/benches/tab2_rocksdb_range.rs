@@ -23,7 +23,10 @@ fn quick_spec() -> BenchSpec {
 }
 
 fn bench(c: &mut Criterion) {
-    println!("\n{}", report::render_table2(&range::table2(&range::quick_kv_spec())));
+    println!(
+        "\n{}",
+        report::render_table2(&range::table2(&range::quick_kv_spec()))
+    );
 
     let testbed = Testbed::paper_default(Scenario::PlasticTower);
     let spec = quick_spec();

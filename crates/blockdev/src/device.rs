@@ -54,7 +54,7 @@ pub trait BlockDevice {
 ///
 /// [`IoError::InvalidRequest`] or [`IoError::OutOfRange`] as appropriate.
 pub fn check_request(num_blocks: u64, lba: u64, len: usize) -> Result<u64, IoError> {
-    if len == 0 || len % BLOCK_SIZE != 0 {
+    if len == 0 || !len.is_multiple_of(BLOCK_SIZE) {
         return Err(IoError::InvalidRequest);
     }
     let blocks = (len / BLOCK_SIZE) as u64;

@@ -100,8 +100,9 @@ impl<D: BlockDevice> FaultInjector<D> {
             FaultPlan::FailWritesFrom { start, error } => {
                 (is_write && self.writes >= start).then_some(error)
             }
-            FaultPlan::BadRange { lo, hi } => (lba < hi && lba + blocks > lo)
-                .then_some(IoError::Medium { errno: EIO }),
+            FaultPlan::BadRange { lo, hi } => {
+                (lba < hi && lba + blocks > lo).then_some(IoError::Medium { errno: EIO })
+            }
         };
         self.requests += 1;
         if is_write {

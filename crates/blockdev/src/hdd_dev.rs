@@ -159,10 +159,7 @@ mod tests {
         disk.vibration()
             .set(Some(VibrationState::new(Frequency::from_hz(650.0), 0.5)));
         let buf = vec![0u8; 4096];
-        assert_eq!(
-            disk.write_blocks(0, &buf).unwrap_err(),
-            IoError::NoResponse
-        );
+        assert_eq!(disk.write_blocks(0, &buf).unwrap_err(), IoError::NoResponse);
         assert_eq!(disk.write_errors(), 1);
         // Stop the attack: the device recovers.
         disk.vibration().clear();

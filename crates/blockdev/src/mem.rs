@@ -156,8 +156,7 @@ mod tests {
     #[test]
     fn latency_charged_per_request() {
         let clock = Clock::new();
-        let mut d =
-            MemDisk::with_latency(16, clock.clone(), SimDuration::from_micros(100));
+        let mut d = MemDisk::with_latency(16, clock.clone(), SimDuration::from_micros(100));
         let buf = vec![0u8; BLOCK_SIZE];
         d.write_blocks(0, &buf).unwrap();
         d.write_blocks(1, &buf).unwrap();

@@ -317,7 +317,7 @@ mod tests {
         });
         a.write_blocks(1, &vec![2u8; 512]).unwrap(); // degrades + dirty {1}
         a.write_blocks(2, &vec![3u8; 512]).unwrap(); // dirty {1,2}
-        // Attack ends: the mirror works again.
+                                                     // Attack ends: the mirror works again.
         a.mirror_mut(0).set_plan(FaultPlan::None);
         let copied = a.resync(0).unwrap();
         assert_eq!(copied, 2);

@@ -12,10 +12,12 @@
 //! deepnote stealth
 //! deepnote redundancy
 //! deepnote fleet [--drives N] [--spacing-cm S]
+//! deepnote cluster [--placement P] [--seconds N] [--clients N] [--shards N] [--seed S]
 //! deepnote all
 //! ```
 
 use deepnote_acoustics::{Distance, SweepPlan};
+use deepnote_cluster::prelude::*;
 use deepnote_core::experiments::{
     ablations, adaptive, covert, crash, frequency, heatmap, range, redundancy, stealth,
 };
@@ -85,6 +87,9 @@ COMMANDS:
   fleet        blast radius on a drive column        [--drives N] [--spacing-cm S]
   heatmap      frequency x distance attack surface   [--tsv]
   covert       seek-noise exfiltration budget (DiskFiltration underwater)
+  cluster      replicated KV cluster vs attack timeline
+               [--placement separated|colocated|both] [--seconds N]
+               [--clients N] [--shards N] [--seed S]
   all          everything above (except TSV dumps)
 ";
 
@@ -135,13 +140,19 @@ fn run(cmd: &str, args: &Args) -> Result<(), String> {
             }
         }
         "defenses" => {
-            print!("{}", report::render_defenses(&defense::evaluate_catalog(&testbed)));
+            print!(
+                "{}",
+                report::render_defenses(&defense::evaluate_catalog(&testbed))
+            );
         }
         "ablations" => {
             print!("{}", report::render_water(&ablations::water_conditions()));
             print!("{}", report::render_power(&ablations::attacker_power()));
             print!("{}", report::render_materials(&ablations::materials()));
-            print!("{}", report::render_tolerance(&ablations::tolerance_sensitivity()));
+            print!(
+                "{}",
+                report::render_tolerance(&ablations::tolerance_sensitivity())
+            );
             println!("Tone vs band noise at equal power:");
             for row in ablations::noise_vs_tone() {
                 println!(
@@ -212,10 +223,45 @@ fn run(cmd: &str, args: &Args) -> Result<(), String> {
         "covert" => {
             print!("{}", covert::render(&covert::exfiltration_study()));
         }
+        "cluster" => {
+            let placement = args.get("placement", "both".to_string())?;
+            let attack = SimDuration::from_secs(args.get("seconds", 120u64)?);
+            let build = |p: PlacementPolicy| -> Result<CampaignConfig, String> {
+                let mut c = CampaignConfig::paper_duel(p, attack);
+                c.seed = args.get("seed", c.seed)?;
+                c.workload.clients = args.get("clients", c.workload.clients)?;
+                c.cluster.num_shards = args.get("shards", c.cluster.num_shards)?;
+                Ok(c)
+            };
+            let configs = match placement.as_str() {
+                "separated" => vec![build(PlacementPolicy::Separated)?],
+                "colocated" | "co-located" => vec![build(PlacementPolicy::CoLocated)?],
+                "both" => vec![
+                    build(PlacementPolicy::Separated)?,
+                    build(PlacementPolicy::CoLocated)?,
+                ],
+                other => return Err(format!("bad value for --placement: {other}")),
+            };
+            let mut reports = Vec::new();
+            for result in run_matrix(configs) {
+                reports.push(result.map_err(|e| format!("campaign failed: {e}"))?);
+            }
+            print!("{}", render_duel(&reports));
+        }
         "all" => {
             for sub in [
-                "table1", "table2", "table3", "fig2", "defenses", "ablations", "stealth",
-                "redundancy", "fleet", "heatmap", "covert",
+                "table1",
+                "table2",
+                "table3",
+                "fig2",
+                "defenses",
+                "ablations",
+                "stealth",
+                "redundancy",
+                "fleet",
+                "heatmap",
+                "covert",
+                "cluster",
             ] {
                 println!("═══ {sub} ═══");
                 run(sub, &Args { flags: Vec::new() })?;

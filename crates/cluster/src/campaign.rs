@@ -1,0 +1,317 @@
+//! The campaign driver: a deterministic event loop that runs an attack
+//! timeline against a serving cluster.
+//!
+//! Five event streams interleave on one priority queue — phase changes,
+//! heartbeat rounds, repair steps, availability samples, and closed-loop
+//! client turns — ordered by `(time, stream priority, insertion order)`,
+//! so a fixed seed replays the identical campaign operation for
+//! operation. The sweep phase retunes the speaker at heartbeat
+//! granularity; health probes, failover, and restarts all ride the same
+//! heartbeat cadence a real control plane would use.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::metrics::{ClusterMetrics, PhaseMetrics};
+use crate::placement::PlacementPolicy;
+use crate::report::CampaignReport;
+use crate::timeline::AttackTimeline;
+use crate::workload::{ClientPool, WorkloadSpec};
+use deepnote_core::parallel::try_run_all;
+use deepnote_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Everything one campaign run needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Report label for this run.
+    pub label: String,
+    /// Cluster layout and policies.
+    pub cluster: ClusterConfig,
+    /// Client population.
+    pub workload: WorkloadSpec,
+    /// What the adversary transmits, and when.
+    pub timeline: AttackTimeline,
+    /// Latency bound counted as an SLO pass.
+    pub slo_latency: SimDuration,
+    /// Availability sampling window.
+    pub sample_every: SimDuration,
+    /// Interval between background repair steps.
+    pub repair_every: SimDuration,
+    /// Keys moved per repair step.
+    pub repair_batch: usize,
+    /// Root RNG seed; fixes every client stream.
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// The paper-shaped duel run: the standard three-rack cluster under
+    /// the given placement, serving the default workload through a
+    /// baseline → sweep → `attack`-long 650 Hz tone → recovery timeline.
+    pub fn paper_duel(placement: PlacementPolicy, attack: SimDuration) -> Self {
+        CampaignConfig {
+            label: placement.label().to_string(),
+            cluster: ClusterConfig::three_racks(placement),
+            workload: WorkloadSpec::default(),
+            timeline: AttackTimeline::paper_campaign(attack),
+            slo_latency: SimDuration::from_millis(50),
+            sample_every: SimDuration::from_secs(5),
+            repair_every: SimDuration::from_millis(200),
+            repair_batch: 32,
+            seed: deepnote_sim::rng::DEFAULT_SEED,
+        }
+    }
+}
+
+/// Event streams, in tie-break priority order at equal times: the phase
+/// boundary applies before the heartbeat that would probe under it, and
+/// control-plane work precedes client traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    /// Enter timeline phase `i`.
+    PhaseChange(usize),
+    /// Probe, restart, and failover round.
+    Heartbeat,
+    /// One bounded repair step.
+    Repair,
+    /// Close an availability window.
+    Sample,
+    /// Client `i` issues its next operation.
+    Client(usize),
+}
+
+impl EvKind {
+    fn priority(&self) -> u8 {
+        match self {
+            EvKind::PhaseChange(_) => 0,
+            EvKind::Heartbeat => 1,
+            EvKind::Repair => 2,
+            EvKind::Sample => 3,
+            EvKind::Client(_) => 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    at: SimTime,
+    prio: u8,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.prio, self.seq).cmp(&(other.at, other.prio, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct EventQueue {
+    heap: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Ev {
+            at,
+            prio: kind.priority(),
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn pop(&mut self) -> Option<Ev> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+}
+
+/// Runs one campaign to completion and reports.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let spec = config.workload;
+    let mut cluster = Cluster::new(config.cluster.clone());
+    cluster.provision(&spec);
+    let mut rng = SimRng::seeded(config.seed);
+    let mut pool = ClientPool::new(&spec, &mut rng);
+
+    let phase_records: Vec<PhaseMetrics> = config
+        .timeline
+        .phases()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let start = config.timeline.phase_start(i);
+            PhaseMetrics::new(p.label.clone(), start, start + p.duration)
+        })
+        .collect();
+    let mut metrics = ClusterMetrics::new(phase_records, config.slo_latency);
+    let mut max_unavailable_by_phase = vec![0usize; config.timeline.phases().len()];
+
+    let end = SimTime::ZERO + config.timeline.total();
+    let heartbeat_every = config.cluster.health.heartbeat_every;
+    let mut q = EventQueue::new();
+    for i in 0..config.timeline.phases().len() {
+        q.push(config.timeline.phase_start(i), EvKind::PhaseChange(i));
+    }
+    q.push(SimTime::ZERO, EvKind::Heartbeat);
+    q.push(SimTime::ZERO + config.repair_every, EvKind::Repair);
+    q.push(SimTime::ZERO + config.sample_every, EvKind::Sample);
+    for i in 0..pool.len() {
+        q.push(pool.first_issue(i, &spec), EvKind::Client(i));
+    }
+
+    while let Some(ev) = q.pop() {
+        if ev.at >= end {
+            break;
+        }
+        match ev.kind {
+            EvKind::PhaseChange(i) => {
+                metrics.enter_phase(i);
+                cluster.set_attack(config.timeline.frequency_at(ev.at));
+            }
+            EvKind::Heartbeat => {
+                // Retune mid-sweep; a steady tone is a no-op here.
+                cluster.set_attack(config.timeline.frequency_at(ev.at));
+                cluster.heartbeat(ev.at);
+                q.push(ev.at + heartbeat_every, EvKind::Heartbeat);
+            }
+            EvKind::Repair => {
+                cluster.repair_step(ev.at, config.repair_batch);
+                q.push(ev.at + config.repair_every, EvKind::Repair);
+            }
+            EvKind::Sample => {
+                metrics.sample_availability(ev.at);
+                let phase = config.timeline.phase_at(ev.at);
+                let unavailable = cluster.unavailable_shards(ev.at);
+                max_unavailable_by_phase[phase] = max_unavailable_by_phase[phase].max(unavailable);
+                q.push(ev.at + config.sample_every, EvKind::Sample);
+            }
+            EvKind::Client(i) => {
+                let op = pool.next_op(i, &spec);
+                let key = spec.key(op.key_index);
+                let value = spec.value(op.key_index);
+                let outcome = cluster.execute(op.is_read, &key, &value, ev.at);
+                metrics.record_op(op.is_read, outcome.ok, outcome.latency);
+                q.push(ev.at + outcome.latency + spec.think_time, EvKind::Client(i));
+            }
+        }
+    }
+    metrics.sample_availability(end);
+    let last_phase = config.timeline.phases().len() - 1;
+    max_unavailable_by_phase[last_phase] =
+        max_unavailable_by_phase[last_phase].max(cluster.unavailable_shards(end));
+
+    CampaignReport {
+        label: config.label.clone(),
+        placement: config.cluster.placement,
+        seed: config.seed,
+        metrics,
+        repair: cluster.repair_stats(),
+        node_counters: cluster.nodes().iter().map(|n| n.counters()).collect(),
+        failovers: cluster.failovers(),
+        max_unavailable_by_phase,
+        final_unavailable_shards: cluster.unavailable_shards(end),
+        events: cluster.events().to_vec(),
+    }
+}
+
+/// Runs a batch of campaigns on parallel OS threads (each is its own
+/// virtual-time world); a panicking run surfaces as `Err` without
+/// discarding its siblings.
+pub fn run_matrix(configs: Vec<CampaignConfig>) -> Vec<Result<CampaignReport, String>> {
+    try_run_all(
+        configs
+            .into_iter()
+            .map(|c| move || run_campaign(&c))
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A short campaign so unit tests stay fast: tiny keyspace, brisk
+    /// phases, still long enough for the attack to kill the near rack.
+    fn short_config(placement: PlacementPolicy) -> CampaignConfig {
+        let mut c = CampaignConfig::paper_duel(placement, SimDuration::from_secs(30));
+        c.workload.num_keys = 240;
+        c.workload.clients = 4;
+        c.timeline = AttackTimeline::new(vec![
+            crate::timeline::Phase {
+                label: "baseline".into(),
+                duration: SimDuration::from_secs(5),
+                load: crate::timeline::AttackLoad::Off,
+            },
+            crate::timeline::Phase {
+                label: "attack".into(),
+                duration: SimDuration::from_secs(30),
+                load: crate::timeline::AttackLoad::Tone { hz: 650.0 },
+            },
+            crate::timeline::Phase {
+                label: "recovery".into(),
+                duration: SimDuration::from_secs(30),
+                load: crate::timeline::AttackLoad::Off,
+            },
+        ]);
+        c
+    }
+
+    #[test]
+    fn baseline_phase_serves_cleanly() {
+        let report = run_campaign(&short_config(PlacementPolicy::Separated));
+        let baseline = report.metrics.phase("baseline").unwrap();
+        assert!(
+            baseline.success_ratio() > 0.99,
+            "{}",
+            baseline.success_ratio()
+        );
+        assert!(baseline.goodput_ops_per_s() > 1.0);
+    }
+
+    #[test]
+    fn separated_placement_survives_what_colocated_does_not() {
+        let sep = run_campaign(&short_config(PlacementPolicy::Separated));
+        let col = run_campaign(&short_config(PlacementPolicy::CoLocated));
+        let sep_attack = sep.metrics.phase("attack").unwrap().success_ratio();
+        let col_attack = col.metrics.phase("attack").unwrap().success_ratio();
+        assert!(
+            sep_attack > col_attack,
+            "separated {sep_attack} vs co-located {col_attack}"
+        );
+        assert_eq!(sep.worst_unavailable_shards(), 0, "{:#?}", sep.events);
+        assert!(col.worst_unavailable_shards() > 0);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_per_seed() {
+        let a = run_campaign(&short_config(PlacementPolicy::CoLocated));
+        let b = run_campaign(&short_config(PlacementPolicy::CoLocated));
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn matrix_runs_both_placements() {
+        let results = run_matrix(vec![
+            short_config(PlacementPolicy::Separated),
+            short_config(PlacementPolicy::CoLocated),
+        ]);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+}

@@ -1,0 +1,488 @@
+//! The assembled cluster: nodes in a tank, a shard map, a health
+//! monitor, and a repair queue, all driven from one control plane.
+//!
+//! [`Cluster`] owns the physics wiring — every node's drive hangs off
+//! the same [`Testbed`], so mounting an attack frequency applies each
+//! node's distance-specific vibration — and the distributed-systems
+//! wiring: quorum dispatch, failure detection, failover, and
+//! re-replication.
+
+use crate::health::{HealthConfig, HealthMonitor, Transition};
+use crate::node::{RestartOutcome, StorageNode};
+use crate::placement::{shard_of, NodeId, PlacementPolicy, RackSpec, ShardId, ShardMap, Topology};
+use crate::replication::{
+    quorum_execute, OpKind, QuorumOutcome, RepairQueue, RepairReason, RepairStats,
+    ReplicationConfig,
+};
+use crate::workload::WorkloadSpec;
+use deepnote_acoustics::Frequency;
+use deepnote_core::testbed::Testbed;
+use deepnote_core::threat::AttackParams;
+use deepnote_kv::DbConfig;
+use deepnote_sim::{SimDuration, SimTime};
+use deepnote_structures::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to stand a cluster up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Enclosure/mount scenario for the testbed physics.
+    pub scenario: Scenario,
+    /// Physical racks, nearest to the attack point first.
+    pub racks: Vec<RackSpec>,
+    /// Number of shards the keyspace hashes onto.
+    pub num_shards: usize,
+    /// Replica placement policy.
+    pub placement: PlacementPolicy,
+    /// Quorum settings.
+    pub replication: ReplicationConfig,
+    /// Failure-detection settings.
+    pub health: HealthConfig,
+}
+
+impl ClusterConfig {
+    /// The standard three-rack duel layout: one rack inside the blast
+    /// radius (1 cm) and two acoustically safe racks (60 cm, 120 cm),
+    /// three nodes each, majority quorums over three replicas.
+    pub fn three_racks(placement: PlacementPolicy) -> Self {
+        ClusterConfig {
+            scenario: Scenario::PlasticTower,
+            racks: vec![
+                RackSpec {
+                    distance_cm: 1.0,
+                    spacing_cm: 1.0,
+                    nodes: 3,
+                },
+                RackSpec {
+                    distance_cm: 60.0,
+                    spacing_cm: 1.0,
+                    nodes: 3,
+                },
+                RackSpec {
+                    distance_cm: 120.0,
+                    spacing_cm: 1.0,
+                    nodes: 3,
+                },
+            ],
+            num_shards: 12,
+            placement,
+            replication: ReplicationConfig::majority(3),
+            health: HealthConfig::default(),
+        }
+    }
+
+    /// Database tuning for serving nodes: small memtables and frequent
+    /// group commits, like an online store rather than a bulk loader.
+    pub fn node_db_config() -> DbConfig {
+        DbConfig {
+            memtable_limit_bytes: 64 << 10,
+            wal_sync_every_ops: 128,
+            ..DbConfig::default()
+        }
+    }
+}
+
+/// The running cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    testbed: Testbed,
+    topo: Topology,
+    nodes: Vec<StorageNode>,
+    map: ShardMap,
+    monitor: HealthMonitor,
+    repairs: RepairQueue,
+    shard_keys: Vec<Vec<Vec<u8>>>,
+    current_attack: Option<Frequency>,
+    failovers: u64,
+    events: Vec<String>,
+}
+
+/// Health probes read this key; it never collides with workload keys.
+const PROBE_KEY: &[u8] = b"__health_probe__";
+
+impl Cluster {
+    /// Builds and launches every node, healthy and silent.
+    pub fn new(config: ClusterConfig) -> Self {
+        let topo = Topology::build(&config.racks);
+        let map = ShardMap::build(
+            &topo,
+            config.num_shards,
+            config.replication.replication,
+            config.placement,
+        );
+        let nodes: Vec<StorageNode> = (0..topo.nodes())
+            .map(|n| {
+                StorageNode::launch(
+                    n,
+                    topo.node_rack[n],
+                    topo.node_distance[n],
+                    ClusterConfig::node_db_config(),
+                )
+            })
+            .collect();
+        let monitor = HealthMonitor::new(nodes.len(), config.health);
+        Cluster {
+            testbed: Testbed::paper_default(config.scenario),
+            topo,
+            nodes,
+            map,
+            monitor,
+            repairs: RepairQueue::new(),
+            shard_keys: vec![Vec::new(); config.num_shards],
+            current_attack: None,
+            failovers: 0,
+            events: Vec::new(),
+            config,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The nodes (report access).
+    pub fn nodes(&self) -> &[StorageNode] {
+        &self.nodes
+    }
+
+    /// The shard map (report access).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The health monitor's current beliefs.
+    pub fn monitor(&self) -> &HealthMonitor {
+        &self.monitor
+    }
+
+    /// Failovers executed so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Repair totals so far.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.repairs.stats()
+    }
+
+    /// Control-plane event log (deterministic, human-readable).
+    pub fn events(&self) -> &[String] {
+        &self.events
+    }
+
+    /// Routes a key to its shard.
+    pub fn shard_for(&self, key: &[u8]) -> ShardId {
+        shard_of(key, self.config.num_shards)
+    }
+
+    /// Loads the whole keyspace onto every replica before the campaign
+    /// (provisioning time is off the cluster timeline) and memoizes the
+    /// per-shard key lists the repair path copies from.
+    pub fn provision(&mut self, spec: &WorkloadSpec) {
+        let mut per_node: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); self.nodes.len()];
+        for i in 0..spec.num_keys {
+            let key = spec.key(i);
+            let value = spec.value(i);
+            let shard = self.shard_for(&key);
+            self.shard_keys[shard].push(key.clone());
+            for &n in self.map.replicas(shard) {
+                per_node[n].push((key.clone(), value.clone()));
+            }
+        }
+        for (n, pairs) in per_node.iter().enumerate() {
+            self.nodes[n].preload(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())));
+        }
+    }
+
+    /// Retunes (or silences) the speaker: every node receives the
+    /// vibration for its own distance.
+    pub fn set_attack(&mut self, frequency: Option<Frequency>) {
+        if frequency.map(|f| f.hz()) == self.current_attack.map(|f| f.hz()) {
+            return;
+        }
+        self.current_attack = frequency;
+        for node in &self.nodes {
+            match frequency {
+                Some(f) => self.testbed.mount_attack(
+                    node.vibration(),
+                    AttackParams {
+                        frequency: f,
+                        distance: node.position(),
+                    },
+                ),
+                None => self.testbed.stop_attack(node.vibration()),
+            }
+        }
+    }
+
+    /// The frequency currently transmitted, if any.
+    pub fn current_attack(&self) -> Option<Frequency> {
+        self.current_attack
+    }
+
+    /// Executes one client operation through the quorum coordinator.
+    pub fn execute(
+        &mut self,
+        is_read: bool,
+        key: &[u8],
+        value: &[u8],
+        now: SimTime,
+    ) -> QuorumOutcome {
+        let shard = self.shard_for(key);
+        let up = self.monitor.up_mask();
+        let kind = if is_read { OpKind::Read } else { OpKind::Write };
+        let outcome = quorum_execute(
+            &mut self.nodes,
+            self.map.replicas(shard),
+            &up,
+            kind,
+            key,
+            value,
+            now,
+            &self.config.replication,
+        );
+        for &n in &outcome.fatalities {
+            if self.monitor.mark_down(n, now) == Transition::WentDown {
+                self.note(now, format!("node {n} crashed (fatal storage error)"));
+                self.repairs.cancel_target(n);
+            }
+        }
+        outcome
+    }
+
+    /// One heartbeat round: probe every node, integrate transitions,
+    /// attempt reboots of crashed nodes, and fail over replicas that
+    /// have been down too long.
+    pub fn heartbeat(&mut self, now: SimTime) {
+        for n in 0..self.nodes.len() {
+            let r = self.nodes[n].serve_get(now, PROBE_KEY);
+            let rtt = r.done.saturating_duration_since(now);
+            match self.monitor.observe_probe(n, now, rtt, r.ok) {
+                Transition::WentDown => {
+                    self.note(now, format!("node {n} marked down (probe timeout)"));
+                    self.repairs.cancel_target(n);
+                }
+                Transition::CameUp => {
+                    self.note(now, format!("node {n} back up"));
+                    self.enqueue_catch_up(n);
+                }
+                Transition::None => {}
+            }
+        }
+        self.attempt_restarts(now);
+        self.attempt_failovers(now);
+    }
+
+    fn attempt_restarts(&mut self, now: SimTime) {
+        for n in 0..self.nodes.len() {
+            if self.nodes[n].running()
+                || self.nodes[n].busy_until() > now
+                || !self.monitor.take_restart_slot(n, now)
+            {
+                continue;
+            }
+            match self.nodes[n].try_restart(now) {
+                RestartOutcome::StillDead => {
+                    self.note(now, format!("node {n} reboot failed (medium unresponsive)"));
+                }
+                outcome => {
+                    if outcome == RestartOutcome::RecoveredBlank {
+                        self.note(now, format!("node {n} rebooted on a blank drive"));
+                    } else {
+                        self.note(now, format!("node {n} rebooted"));
+                    }
+                    // A swapped drive carries a fresh vibration input:
+                    // re-mount the ongoing attack, if any.
+                    if let Some(f) = self.current_attack {
+                        self.testbed.mount_attack(
+                            self.nodes[n].vibration(),
+                            AttackParams {
+                                frequency: f,
+                                distance: self.nodes[n].position(),
+                            },
+                        );
+                    }
+                    if self.monitor.observe_probe(n, now, SimDuration::ZERO, true)
+                        == Transition::CameUp
+                    {
+                        self.enqueue_catch_up(n);
+                    }
+                }
+            }
+        }
+    }
+
+    fn attempt_failovers(&mut self, now: SimTime) {
+        let failover_after = self.monitor.config().failover_after;
+        for n in 0..self.nodes.len() {
+            if self.monitor.down_for(n, now) < failover_after {
+                continue;
+            }
+            let up = self.monitor.up_mask();
+            for shard in self.map.shards_on(n) {
+                // A replacement replica can only be built from a live
+                // peer; a shard whose whole replica set is dead stays
+                // pinned to its nodes until they come back (failing over
+                // to blank drives would "restore" availability by
+                // silently losing the data).
+                if !self.map.replicas(shard).iter().any(|&m| m != n && up[m]) {
+                    continue;
+                }
+                let Some(target) = self.map.failover_target(shard, n, &self.topo, &up) else {
+                    continue;
+                };
+                self.map.reassign(shard, n, target);
+                self.repairs.enqueue(shard, target, RepairReason::Failover);
+                self.failovers += 1;
+                self.note(
+                    now,
+                    format!("shard {shard} failed over from node {n} to node {target}"),
+                );
+            }
+        }
+    }
+
+    /// A rejoined node catches up on every shard it still replicates,
+    /// copying from a peer that stayed up.
+    fn enqueue_catch_up(&mut self, n: NodeId) {
+        for shard in self.map.shards_on(n) {
+            self.repairs.enqueue(shard, n, RepairReason::CatchUp);
+        }
+    }
+
+    /// Runs one bounded repair step; returns keys moved.
+    pub fn repair_step(&mut self, now: SimTime, batch: usize) -> u64 {
+        let up = self.monitor.up_mask();
+        self.repairs.step(
+            &mut self.nodes,
+            &self.map,
+            &up,
+            &self.shard_keys,
+            batch,
+            now,
+            &self.config.replication,
+        )
+    }
+
+    /// Pending repair jobs.
+    pub fn pending_repairs(&self) -> usize {
+        self.repairs.pending()
+    }
+
+    /// Shards currently below their write quorum (no write can succeed).
+    pub fn unavailable_shards(&self, now: SimTime) -> usize {
+        let deadline = now + self.config.replication.request_timeout;
+        (0..self.map.shards())
+            .filter(|&s| {
+                let serviceable = self
+                    .map
+                    .replicas(s)
+                    .iter()
+                    .filter(|&&n| self.monitor.is_up(n) && self.nodes[n].busy_until() <= deadline)
+                    .count();
+                serviceable < self.config.replication.write_quorum
+            })
+            .count()
+    }
+
+    fn note(&mut self, now: SimTime, what: String) {
+        self.events
+            .push(format!("t={:7.1}s  {what}", now.as_secs_f64()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            num_keys: 120,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    fn cluster(placement: PlacementPolicy) -> Cluster {
+        let mut c = Cluster::new(ClusterConfig::three_racks(placement));
+        c.provision(&small_spec());
+        c
+    }
+
+    #[test]
+    fn provision_makes_every_key_readable_by_quorum() {
+        let mut c = cluster(PlacementPolicy::Separated);
+        let spec = small_spec();
+        let mut t = SimTime::ZERO;
+        for i in (0..spec.num_keys).step_by(17) {
+            let key = spec.key(i);
+            let r = c.execute(true, &key, b"", t);
+            assert!(r.ok, "key {i}: {r:?}");
+            assert_eq!(r.value, Some(spec.value(i)), "key {i}");
+            t += r.latency;
+        }
+    }
+
+    #[test]
+    fn quiet_cluster_reports_no_unavailable_shards() {
+        let c = cluster(PlacementPolicy::CoLocated);
+        assert_eq!(c.unavailable_shards(SimTime::ZERO), 0);
+        assert_eq!(c.failovers(), 0);
+        assert_eq!(c.pending_repairs(), 0);
+    }
+
+    #[test]
+    fn attack_kills_near_rack_quorums_for_colocated_only() {
+        let spec = small_spec();
+        for (placement, expect_unavailable) in [
+            (PlacementPolicy::CoLocated, true),
+            (PlacementPolicy::Separated, false),
+        ] {
+            let mut c = cluster(placement);
+            c.set_attack(Some(Frequency::from_hz(650.0)));
+            // Drive writes until the near-rack engines die, with
+            // heartbeats so the monitor notices.
+            let mut t = SimTime::ZERO;
+            for i in 0..600u64 {
+                let key = spec.key(i % spec.num_keys);
+                let r = c.execute(false, &key, b"update", t);
+                t = t + r.latency + SimDuration::from_millis(20);
+                if i % 25 == 0 {
+                    c.heartbeat(t);
+                }
+            }
+            c.heartbeat(t);
+            let unavailable = c.unavailable_shards(t);
+            if expect_unavailable {
+                assert!(unavailable > 0, "{placement:?} kept all shards available");
+            } else {
+                assert_eq!(unavailable, 0, "{placement:?} lost shards");
+            }
+            let crashes: u64 = c.nodes().iter().map(|n| n.counters().crashes).sum();
+            assert!(crashes >= 1, "{placement:?}: no node crashed");
+        }
+    }
+
+    #[test]
+    fn events_are_recorded_with_timestamps() {
+        let mut c = cluster(PlacementPolicy::CoLocated);
+        c.set_attack(Some(Frequency::from_hz(650.0)));
+        let spec = small_spec();
+        let mut t = SimTime::ZERO;
+        for i in 0..400u64 {
+            let key = spec.key(i % spec.num_keys);
+            let r = c.execute(false, &key, b"x", t);
+            t = t + r.latency + SimDuration::from_millis(10);
+        }
+        c.heartbeat(t);
+        assert!(
+            c.events()
+                .iter()
+                .any(|e| e.contains("crashed") || e.contains("down")),
+            "events: {:?}",
+            c.events()
+        );
+    }
+}

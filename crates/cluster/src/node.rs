@@ -1,0 +1,383 @@
+//! A storage node: one enclosure/drive/LSM stack at a tank position.
+//!
+//! Each node is its own virtual-time world — a private [`Clock`] driving
+//! a [`HddDisk`] under a [`Db`] — embedded in the cluster's shared
+//! timeline through `busy_until`: requests dispatched at cluster time `t`
+//! start at `max(t, busy_until)`, take whatever the private clock says
+//! the stack charged, and push `busy_until` forward. A node wedged in an
+//! 81-second WAL-sync retry is therefore unresponsive on the cluster
+//! timeline for 81 seconds, exactly like a real server with a blocked
+//! fsync.
+
+use deepnote_acoustics::Distance;
+use deepnote_blockdev::{BlockDevice, HddDisk};
+use deepnote_hdd::VibrationInput;
+use deepnote_kv::{Db, DbConfig};
+use deepnote_sim::{Clock, SimDuration, SimTime};
+
+/// The node's storage engine, present in every lifecycle state.
+///
+/// `Stopped` holds the bare drive inline: there is exactly one `Engine`
+/// per node and the disk is moved, never copied, so the variant size gap
+/// against the boxed `Running` database does not matter here.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+enum Engine {
+    /// Serving: the database owns the disk.
+    Running(Box<Db<HddDisk>>),
+    /// Crashed: the disk has been pulled out of the dead process and
+    /// waits for a restart.
+    Stopped(HddDisk),
+    /// Transient marker while ownership moves between states.
+    Swapping,
+}
+
+/// Why a restart attempt did not bring the node back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartOutcome {
+    /// The boot probe saw the medium still unresponsive (attack ongoing).
+    StillDead,
+    /// The store reopened from the surviving on-disk state.
+    Recovered,
+    /// The on-disk state was unrecoverable; the node rejoined with a
+    /// blank replacement drive (repairs must restore its data).
+    RecoveredBlank,
+}
+
+/// Counters for one node's lifecycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NodeCounters {
+    /// Fatal engine crashes observed.
+    pub crashes: u64,
+    /// Successful restarts.
+    pub restarts: u64,
+    /// Restart attempts that failed (medium still dead).
+    pub failed_restarts: u64,
+}
+
+/// The result of dispatching one operation to a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceResult {
+    /// Whether the engine served the request.
+    pub ok: bool,
+    /// Whether the failure killed the engine (process crash).
+    pub fatal: bool,
+    /// Value returned by a get (`None` for puts and misses).
+    pub value: Option<Vec<u8>>,
+    /// Cluster-timeline instant the node finished the request.
+    pub done: SimTime,
+}
+
+/// One replica server.
+#[derive(Debug)]
+pub struct StorageNode {
+    id: usize,
+    rack: usize,
+    position: Distance,
+    clock: Clock,
+    engine: Engine,
+    vibration: VibrationInput,
+    busy_until: SimTime,
+    db_config: DbConfig,
+    counters: NodeCounters,
+}
+
+impl StorageNode {
+    /// Brings up a node with a freshly formatted drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if formatting the fresh device fails (it cannot, absent an
+    /// attack mounted before the node exists).
+    pub fn launch(id: usize, rack: usize, position: Distance, db_config: DbConfig) -> Self {
+        let clock = Clock::new();
+        let disk = HddDisk::barracuda_500gb(clock.clone());
+        let vibration = disk.vibration();
+        let db =
+            Db::create_with(disk, clock.clone(), db_config).expect("fresh node formats cleanly");
+        StorageNode {
+            id,
+            rack,
+            position,
+            clock,
+            engine: Engine::Running(Box::new(db)),
+            vibration,
+            busy_until: SimTime::ZERO,
+            db_config,
+            counters: NodeCounters::default(),
+        }
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The rack this node sits in.
+    pub fn rack(&self) -> usize {
+        self.rack
+    }
+
+    /// Distance from the attack point.
+    pub fn position(&self) -> Distance {
+        self.position
+    }
+
+    /// The drive's vibration input (mount/stop attacks through this).
+    pub fn vibration(&self) -> &VibrationInput {
+        &self.vibration
+    }
+
+    /// Whether the engine process is alive.
+    pub fn running(&self) -> bool {
+        matches!(self.engine, Engine::Running(_))
+    }
+
+    /// Cluster-timeline instant until which the node is busy.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Lifecycle counters.
+    pub fn counters(&self) -> NodeCounters {
+        self.counters
+    }
+
+    /// Loads `(key, value)` pairs before the campaign starts: provisioning
+    /// time is off the books (`busy_until` is untouched), but the data and
+    /// its on-disk footprint are real.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the healthy pre-campaign load fails.
+    pub fn preload<'a>(&mut self, pairs: impl IntoIterator<Item = (&'a [u8], &'a [u8])>) {
+        let Engine::Running(db) = &mut self.engine else {
+            panic!("preload on a stopped node");
+        };
+        for (k, v) in pairs {
+            db.put(k, v).expect("preload write on a healthy node");
+        }
+        db.flush().expect("preload flush on a healthy node");
+    }
+
+    /// Serves a get dispatched at cluster time `at`.
+    pub fn serve_get(&mut self, at: SimTime, key: &[u8]) -> ServiceResult {
+        self.serve(at, |db| db.get(key))
+    }
+
+    /// Serves a put dispatched at cluster time `at`.
+    pub fn serve_put(&mut self, at: SimTime, key: &[u8], value: &[u8]) -> ServiceResult {
+        self.serve(at, |db| db.put(key, value).map(|()| None))
+    }
+
+    fn serve<F>(&mut self, at: SimTime, f: F) -> ServiceResult
+    where
+        F: FnOnce(&mut Db<HddDisk>) -> Result<Option<Vec<u8>>, deepnote_kv::DbError>,
+    {
+        let start = self.busy_until.max(at);
+        let Engine::Running(db) = &mut self.engine else {
+            // Process down: connection refused, a network round-trip.
+            return ServiceResult {
+                ok: false,
+                fatal: false,
+                value: None,
+                done: at + RTT,
+            };
+        };
+        let t0 = self.clock.now();
+        let outcome = f(db);
+        let service = self.clock.now().saturating_duration_since(t0);
+        self.busy_until = start + service + RTT;
+        match outcome {
+            Ok(value) => ServiceResult {
+                ok: true,
+                fatal: false,
+                value,
+                done: self.busy_until,
+            },
+            Err(e) => {
+                let fatal = e.is_fatal();
+                if fatal {
+                    self.crash_engine();
+                }
+                ServiceResult {
+                    ok: false,
+                    fatal,
+                    value: None,
+                    done: self.busy_until,
+                }
+            }
+        }
+    }
+
+    /// Pulls the disk out of a dead engine so its platters survive the
+    /// process crash.
+    fn crash_engine(&mut self) {
+        let Engine::Running(mut db) = std::mem::replace(&mut self.engine, Engine::Swapping) else {
+            unreachable!("crash_engine on a node that is not running");
+        };
+        let mut disk = HddDisk::barracuda_500gb(self.clock.clone());
+        std::mem::swap(db.filesystem_mut().device_mut(), &mut disk);
+        // `disk` now holds the real device (and the wired vibration
+        // input); the dummy drops with the dead Db.
+        self.engine = Engine::Stopped(disk);
+        self.counters.crashes += 1;
+    }
+
+    /// Attempts to reboot a crashed node at cluster time `at`.
+    ///
+    /// A raw boot probe (one sector read) checks whether the medium
+    /// responds before the journal replay risks the disk: an open that
+    /// dies half-way consumes the device, so a probe failure keeps the
+    /// original platters for the next attempt. If the probe passes but
+    /// recovery still fails, the drive is swapped for a blank unit and
+    /// the node rejoins empty.
+    pub fn try_restart(&mut self, at: SimTime) -> RestartOutcome {
+        let Engine::Stopped(mut disk) = std::mem::replace(&mut self.engine, Engine::Swapping)
+        else {
+            panic!("try_restart on a node that is not stopped");
+        };
+        let start = self.busy_until.max(at);
+        let t0 = self.clock.now();
+        let mut probe = [0u8; 512];
+        if disk.read_blocks(0, &mut probe).is_err() {
+            let spent = self.clock.now().saturating_duration_since(t0);
+            self.busy_until = start + spent;
+            self.engine = Engine::Stopped(disk);
+            self.counters.failed_restarts += 1;
+            return RestartOutcome::StillDead;
+        }
+        let outcome = match Db::open_with(disk, self.clock.clone(), self.db_config) {
+            Ok(db) => {
+                self.engine = Engine::Running(Box::new(db));
+                RestartOutcome::Recovered
+            }
+            Err(_) => {
+                // The open consumed the device; commission a blank drive.
+                let blank = HddDisk::barracuda_500gb(self.clock.clone());
+                self.vibration = blank.vibration();
+                match Db::create_with(blank, self.clock.clone(), self.db_config) {
+                    Ok(db) => {
+                        self.engine = Engine::Running(Box::new(db));
+                        RestartOutcome::RecoveredBlank
+                    }
+                    Err(_) => {
+                        // Even the blank drive refuses (attack resumed
+                        // mid-boot); stand the node down with it.
+                        let blank = HddDisk::barracuda_500gb(self.clock.clone());
+                        self.vibration = blank.vibration();
+                        self.engine = Engine::Stopped(blank);
+                        self.counters.failed_restarts += 1;
+                        let spent = self.clock.now().saturating_duration_since(t0);
+                        self.busy_until = start + spent;
+                        return RestartOutcome::StillDead;
+                    }
+                }
+            }
+        };
+        let spent = self.clock.now().saturating_duration_since(t0);
+        self.busy_until = start + spent;
+        self.counters.restarts += 1;
+        outcome
+    }
+}
+
+/// Modeled network round-trip added to every dispatched request.
+const RTT: SimDuration = SimDuration::from_micros(200);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepnote_core::testbed::Testbed;
+    use deepnote_core::threat::AttackParams;
+    use deepnote_structures::Scenario;
+
+    fn quick_config() -> DbConfig {
+        DbConfig {
+            wal_sync_every_ops: 8,
+            wal_patience: SimDuration::from_secs(2),
+            ..DbConfig::default()
+        }
+    }
+
+    fn node() -> StorageNode {
+        StorageNode::launch(0, 0, Distance::from_cm(1.0), quick_config())
+    }
+
+    #[test]
+    fn serves_and_advances_busy_window() {
+        let mut n = node();
+        let w = n.serve_put(SimTime::ZERO, b"k", b"v");
+        assert!(w.ok);
+        assert!(w.done > SimTime::ZERO);
+        let r = n.serve_get(w.done, b"k");
+        assert!(r.ok);
+        assert_eq!(r.value.as_deref(), Some(&b"v"[..]));
+        assert!(n.busy_until() >= r.done);
+    }
+
+    #[test]
+    fn requests_queue_behind_busy_window() {
+        let mut n = node();
+        let first = n.serve_put(SimTime::ZERO, b"a", b"1");
+        // Dispatched "in the past" relative to the busy window: the reply
+        // cannot arrive before the earlier work finishes.
+        let second = n.serve_put(SimTime::ZERO, b"b", b"2");
+        assert!(second.done > first.done);
+    }
+
+    #[test]
+    fn attack_crashes_engine_and_preserves_platters() {
+        let mut n = node();
+        n.preload([(b"stable".as_slice(), b"value".as_slice())]);
+        let testbed = Testbed::paper_default(Scenario::PlasticTower);
+        testbed.mount_attack(n.vibration(), AttackParams::paper_best());
+        // Hammer writes until a WAL group sync trips and the store dies.
+        let mut t = SimTime::ZERO;
+        let mut crashed = false;
+        for i in 0..64u32 {
+            let r = n.serve_put(t, format!("k{i}").as_bytes(), b"v");
+            t = r.done;
+            if r.fatal {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "attack never tripped a fatal sync");
+        assert!(!n.running());
+        assert_eq!(n.counters().crashes, 1);
+
+        // Still under attack: the boot probe refuses.
+        assert_eq!(n.try_restart(t), RestartOutcome::StillDead);
+
+        // Attack over: the node reboots and the preloaded key survived.
+        testbed.stop_attack(n.vibration());
+        let outcome = n.try_restart(t);
+        assert_eq!(outcome, RestartOutcome::Recovered);
+        assert!(n.running());
+        let r = n.serve_get(n.busy_until(), b"stable");
+        assert!(r.ok);
+        assert_eq!(r.value.as_deref(), Some(&b"value"[..]));
+    }
+
+    #[test]
+    fn stopped_node_refuses_fast() {
+        let mut n = node();
+        let testbed = Testbed::paper_default(Scenario::PlasticTower);
+        testbed.mount_attack(n.vibration(), AttackParams::paper_best());
+        let mut t = SimTime::ZERO;
+        for i in 0..64u32 {
+            let r = n.serve_put(t, format!("k{i}").as_bytes(), b"v");
+            t = r.done;
+            if r.fatal {
+                break;
+            }
+        }
+        assert!(!n.running());
+        let at = n.busy_until() + SimDuration::from_secs(1);
+        let refused = n.serve_get(at, b"k");
+        assert!(!refused.ok && !refused.fatal);
+        // Refusal is a round-trip, not a disk timeout.
+        assert!(refused.done <= at + SimDuration::from_millis(1));
+    }
+}

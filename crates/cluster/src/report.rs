@@ -1,0 +1,224 @@
+//! Campaign results and their human-readable rendering.
+
+use crate::metrics::ClusterMetrics;
+use crate::node::NodeCounters;
+use crate::placement::PlacementPolicy;
+use crate::replication::RepairStats;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Everything a finished campaign produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Run label (usually the placement policy).
+    pub label: String,
+    /// Placement policy the cluster ran under.
+    pub placement: PlacementPolicy,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Per-phase service metrics and the availability series.
+    pub metrics: ClusterMetrics,
+    /// Re-replication totals.
+    pub repair: RepairStats,
+    /// Lifecycle counters per node, in node-id order.
+    pub node_counters: Vec<NodeCounters>,
+    /// Shard failovers executed.
+    pub failovers: u64,
+    /// Worst concurrently-unavailable shard count seen per phase.
+    pub max_unavailable_by_phase: Vec<usize>,
+    /// Shards still below write quorum when the campaign ended.
+    pub final_unavailable_shards: usize,
+    /// Control-plane event log.
+    pub events: Vec<String>,
+}
+
+impl CampaignReport {
+    /// Total engine crashes across the cluster.
+    pub fn total_crashes(&self) -> u64 {
+        self.node_counters.iter().map(|c| c.crashes).sum()
+    }
+
+    /// Total successful restarts across the cluster.
+    pub fn total_restarts(&self) -> u64 {
+        self.node_counters.iter().map(|c| c.restarts).sum()
+    }
+
+    /// The worst concurrently-unavailable shard count across all phases.
+    pub fn worst_unavailable_shards(&self) -> usize {
+        self.max_unavailable_by_phase
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the full report as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== campaign: {} (placement {}, seed {:#x}) ===",
+            self.label,
+            self.placement.label(),
+            self.seed
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>10} {:>7} {:>7} {:>9} {:>9} {:>9} {:>7}",
+            "phase", "ops", "goodput/s", "ok%", "slo%", "r_p50ms", "r_p99ms", "w_p99ms", "unavail"
+        );
+        for (i, p) in self.metrics.phases.iter().enumerate() {
+            let ops = p.reads.attempted + p.writes.attempted;
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>10.1} {:>6.1}% {:>6.1}% {:>9} {:>9} {:>9} {:>7}",
+                p.label,
+                ops,
+                p.goodput_ops_per_s(),
+                p.success_ratio() * 100.0,
+                (p.reads.slo_ok + p.writes.slo_ok) as f64 / ops.max(1) as f64 * 100.0,
+                fmt_ms(p.reads.percentile_ms(50.0)),
+                fmt_ms(p.reads.percentile_ms(99.0)),
+                fmt_ms(p.writes.percentile_ms(99.0)),
+                self.max_unavailable_by_phase.get(i).copied().unwrap_or(0),
+            );
+        }
+        if let Some(worst) = self.metrics.worst_availability() {
+            let _ = writeln!(
+                out,
+                "worst availability window: {:.1}% at t={:.0}s ({} ops)",
+                worst.ratio * 100.0,
+                worst.at_s,
+                worst.attempted
+            );
+        }
+        let _ = writeln!(
+            out,
+            "nodes: {} crashes, {} restarts; {} failovers; repairs: {} jobs, {} keys, {} bytes, {} copy failures",
+            self.total_crashes(),
+            self.total_restarts(),
+            self.failovers,
+            self.repair.jobs_done,
+            self.repair.keys_copied,
+            self.repair.bytes_copied,
+            self.repair.copy_failures
+        );
+        let _ = writeln!(
+            out,
+            "shards below write quorum at campaign end: {}",
+            self.final_unavailable_shards
+        );
+        if !self.events.is_empty() {
+            let _ = writeln!(out, "--- control-plane events ---");
+            for e in &self.events {
+                let _ = writeln!(out, "{e}");
+            }
+        }
+        out
+    }
+}
+
+/// Renders several runs side by side: one availability row per run, then
+/// each full report.
+pub fn render_duel(reports: &[CampaignReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "run", "attack ok%", "recovery ok%", "crashes", "failovers", "unavail"
+    );
+    for r in reports {
+        let ratio = |label: &str| {
+            r.metrics
+                .phase(label)
+                .map(|p| format!("{:.1}%", p.success_ratio() * 100.0))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>12} {:>10} {:>10} {:>9}",
+            r.label,
+            ratio("attack"),
+            ratio("recovery"),
+            r.total_crashes(),
+            r.failovers,
+            r.worst_unavailable_shards(),
+        );
+    }
+    for r in reports {
+        let _ = writeln!(out);
+        out.push_str(&r.render());
+    }
+    out
+}
+
+fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(ms) => format!("{ms:.2}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PhaseMetrics;
+    use deepnote_sim::{SimDuration, SimTime};
+
+    fn tiny_report() -> CampaignReport {
+        let mut metrics = ClusterMetrics::new(
+            vec![
+                PhaseMetrics::new("baseline", SimTime::ZERO, SimTime::from_secs(10)),
+                PhaseMetrics::new("attack", SimTime::from_secs(10), SimTime::from_secs(20)),
+            ],
+            SimDuration::from_millis(50),
+        );
+        metrics.record_op(true, true, SimDuration::from_millis(2));
+        metrics.enter_phase(1);
+        metrics.record_op(false, false, SimDuration::from_millis(250));
+        metrics.sample_availability(SimTime::from_secs(20));
+        CampaignReport {
+            label: "test".into(),
+            placement: PlacementPolicy::Separated,
+            seed: 7,
+            metrics,
+            repair: RepairStats::default(),
+            node_counters: vec![
+                NodeCounters {
+                    crashes: 2,
+                    restarts: 1,
+                    failed_restarts: 3,
+                },
+                NodeCounters::default(),
+            ],
+            failovers: 4,
+            max_unavailable_by_phase: vec![0, 3],
+            final_unavailable_shards: 1,
+            events: vec!["t=   12.0s  node 0 crashed".into()],
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_nodes() {
+        let r = tiny_report();
+        assert_eq!(r.total_crashes(), 2);
+        assert_eq!(r.total_restarts(), 1);
+        assert_eq!(r.worst_unavailable_shards(), 3);
+    }
+
+    #[test]
+    fn render_mentions_every_phase_and_the_events() {
+        let text = tiny_report().render();
+        assert!(text.contains("baseline"));
+        assert!(text.contains("attack"));
+        assert!(text.contains("4 failovers"));
+        assert!(text.contains("node 0 crashed"));
+    }
+
+    #[test]
+    fn duel_table_has_one_row_per_run() {
+        let text = render_duel(&[tiny_report(), tiny_report()]);
+        assert!(text.lines().next().unwrap().contains("attack ok%"));
+        assert_eq!(text.matches("=== campaign:").count(), 2);
+    }
+}

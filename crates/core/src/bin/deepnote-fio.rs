@@ -27,7 +27,10 @@ FLAGS:
   --scenario N       1 = plastic/floor, 2 = plastic/tower (default), 3 = metal/tower
 ";
 
-fn parse_flags(args: &[String]) -> Result<(Option<String>, Vec<(String, String)>), String> {
+/// Parsed command line: the optional job-file path plus `--flag value` pairs.
+type ParsedArgs = (Option<String>, Vec<(String, String)>);
+
+fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut file = None;
     let mut flags = Vec::new();
     let mut it = args.iter();

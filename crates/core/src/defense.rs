@@ -61,7 +61,10 @@ impl Defense {
         match self {
             Defense::None => "no defense".to_string(),
             Defense::AcousticLiner { remaining_response } => {
-                format!("acoustic liner ({:.0}% damped)", (1.0 - remaining_response) * 100.0)
+                format!(
+                    "acoustic liner ({:.0}% damped)",
+                    (1.0 - remaining_response) * 100.0
+                )
             }
             Defense::VibrationDampers { isolation } => {
                 format!("vibration dampers ({:.0}% isolation)", isolation * 100.0)
@@ -214,7 +217,10 @@ mod tests {
         // Point-blank (1 cm) the attack still wins — the residual is just
         // above the escalation point — but the blackout reach collapses
         // from ~8 cm to contact distance.
-        assert!(outcome.blackout_reach_cm.unwrap_or(0.0) <= 2.0, "{outcome:?}");
+        assert!(
+            outcome.blackout_reach_cm.unwrap_or(0.0) <= 2.0,
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -227,10 +233,7 @@ mod tests {
         );
         assert_eq!(outcome.cooling_penalty_c, 0.0);
         let baseline = evaluate_defense(&base(), Defense::None);
-        assert!(
-            outcome.blackout_reach_cm.unwrap_or(0.0)
-                < baseline.blackout_reach_cm.unwrap(),
-        );
+        assert!(outcome.blackout_reach_cm.unwrap_or(0.0) < baseline.blackout_reach_cm.unwrap(),);
     }
 
     #[test]

@@ -131,10 +131,8 @@ impl AttackDetector {
             None => true,
             Some(ms) => ms > threshold,
         };
-        if self.window.len() == self.config.window {
-            if self.window.pop_front() == Some(true) {
-                self.anomalies_in_window -= 1;
-            }
+        if self.window.len() == self.config.window && self.window.pop_front() == Some(true) {
+            self.anomalies_in_window -= 1;
         }
         self.window.push_back(anomalous);
         if anomalous {

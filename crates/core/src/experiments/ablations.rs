@@ -12,13 +12,13 @@
 use crate::testbed::Testbed;
 use crate::threat::{AttackObjective, AttackParams, Attacker};
 use deepnote_acoustics::propagation::{max_effective_range_m, received_spl_lloyd};
+use deepnote_acoustics::Medium;
 use deepnote_acoustics::{
     Celsius, Depth, Distance, Frequency, PropagationModel, Salinity, Spl, WaterConditions,
 };
 use deepnote_hdd::{
     steady_state, DiskOpKind, DriveGeometry, ServoModel, TimingModel, ToleranceModel,
 };
-use deepnote_acoustics::Medium;
 use deepnote_structures::{Enclosure, Material, Scenario, VibrationPath};
 use serde::{Deserialize, Serialize};
 
@@ -52,9 +52,10 @@ pub fn blackout_threshold_spl(testbed: &Testbed) -> Spl {
         tol_nm / (deepnote_hdd::drive::RECOVERY_ESCALATION_DUTY * std::f64::consts::PI / 2.0).sin();
     let needed_displacement_um = needed_residual / servo.rejection(f) / 1_000.0;
     // displacement = pressure × path_gain  ⇒  pressure = displacement / gain.
-    let gain_per_pa = testbed
-        .vibration_path()
-        .drive_displacement_um(f, Spl::from_pressure_pa(1.0, deepnote_acoustics::SplReference::Water1uPa));
+    let gain_per_pa = testbed.vibration_path().drive_displacement_um(
+        f,
+        Spl::from_pressure_pa(1.0, deepnote_acoustics::SplReference::Water1uPa),
+    );
     let needed_pa = needed_displacement_um / gain_per_pa;
     Spl::from_pressure_pa(needed_pa, deepnote_acoustics::SplReference::Water1uPa)
 }
@@ -65,16 +66,32 @@ pub fn water_conditions() -> Vec<WaterRow> {
     let testbed = Testbed::paper_default(Scenario::PlasticTower);
     let threshold = blackout_threshold_spl(&testbed);
     let attacker = Attacker::military_attacker(AttackObjective::ThroughputLoss);
-    let emission = attacker.chain().retuned(Frequency::from_hz(650.0)).emission();
+    let emission = attacker
+        .chain()
+        .retuned(Frequency::from_hz(650.0))
+        .emission();
 
     let cases = vec![
-        ("tank freshwater 21°C".to_string(), WaterConditions::tank_freshwater()),
-        ("cold sea 4°C / 35 PSU / 100 m".to_string(),
-            WaterConditions::new(Celsius::new(4.0), Salinity::OCEAN, Depth::from_m(100.0))),
-        ("Natick site 10°C / 35 PSU / 36 m".to_string(), WaterConditions::natick_seawater()),
-        ("Hainan site 24°C / 33 PSU / 20 m".to_string(), WaterConditions::hainan_seawater()),
-        ("warm shallow 30°C / 35 PSU / 5 m".to_string(),
-            WaterConditions::new(Celsius::new(30.0), Salinity::OCEAN, Depth::from_m(5.0))),
+        (
+            "tank freshwater 21°C".to_string(),
+            WaterConditions::tank_freshwater(),
+        ),
+        (
+            "cold sea 4°C / 35 PSU / 100 m".to_string(),
+            WaterConditions::new(Celsius::new(4.0), Salinity::OCEAN, Depth::from_m(100.0)),
+        ),
+        (
+            "Natick site 10°C / 35 PSU / 36 m".to_string(),
+            WaterConditions::natick_seawater(),
+        ),
+        (
+            "Hainan site 24°C / 33 PSU / 20 m".to_string(),
+            WaterConditions::hainan_seawater(),
+        ),
+        (
+            "warm shallow 30°C / 35 PSU / 5 m".to_string(),
+            WaterConditions::new(Celsius::new(30.0), Salinity::OCEAN, Depth::from_m(5.0)),
+        ),
     ];
 
     cases
@@ -117,11 +134,19 @@ pub struct MaterialRow {
 /// point (650 Hz, 1 cm, Scenario 2 structure).
 pub fn materials() -> Vec<MaterialRow> {
     let cases = vec![
-        ("hard plastic 5 mm (paper S1/S2)", Material::hard_plastic(), 0.005),
+        (
+            "hard plastic 5 mm (paper S1/S2)",
+            Material::hard_plastic(),
+            0.005,
+        ),
         ("aluminum 3 mm (paper S3)", Material::aluminum(), 0.003),
         ("aluminum 10 mm", Material::aluminum(), 0.010),
         ("steel 10 mm", Material::steel(), 0.010),
-        ("steel 25 mm (Natick-class vessel)", Material::steel(), 0.025),
+        (
+            "steel 25 mm (Natick-class vessel)",
+            Material::steel(),
+            0.025,
+        ),
     ];
     let geo = DriveGeometry::barracuda_500gb();
     let timing = TimingModel::barracuda_500gb();
@@ -176,7 +201,13 @@ pub fn tolerance_sensitivity() -> Vec<ToleranceRow> {
     let servo = ServoModel::typical();
     let distance = Distance::from_cm(1.0);
 
-    let cases = [(0.15, 0.10), (0.20, 0.10), (0.15, 0.05), (0.30, 0.20), (0.10, 0.10)];
+    let cases = [
+        (0.15, 0.10),
+        (0.20, 0.10),
+        (0.15, 0.05),
+        (0.30, 0.20),
+        (0.10, 0.10),
+    ];
     cases
         .iter()
         .map(|&(read_fraction, write_fraction)| {
@@ -186,10 +217,8 @@ pub fn tolerance_sensitivity() -> Vec<ToleranceRow> {
             let mut hz = 100.0;
             while hz <= 16_900.0 {
                 let v = testbed.vibration_at(Frequency::from_hz(hz), distance);
-                let w =
-                    steady_state(&geo, &timing, &servo, &tol, Some(&v), 8, DiskOpKind::Write);
-                let r =
-                    steady_state(&geo, &timing, &servo, &tol, Some(&v), 8, DiskOpKind::Read);
+                let w = steady_state(&geo, &timing, &servo, &tol, Some(&v), 8, DiskOpKind::Write);
+                let r = steady_state(&geo, &timing, &servo, &tol, Some(&v), 8, DiskOpKind::Read);
                 if w.throughput_mb_s < 1.0 {
                     write_band += 100.0;
                 }
@@ -292,47 +321,49 @@ pub fn seasonal_drift() -> Vec<SeasonRow> {
     let calibration_temp_c = 21.0; // the paper's tank
     let stiffness_slope_per_c = -0.015;
 
-    [("winter 4°C", 4.0), ("tank 21°C (calibration)", 21.0), ("tropical 30°C", 30.0)]
-        .iter()
-        .map(|&(label, temp_c)| {
-            let stiffness = (1.0_f64 + stiffness_slope_per_c * (temp_c - calibration_temp_c))
-                .max(0.2);
-            let scale = stiffness.sqrt();
-            let path = VibrationPath::new(
-                base.enclosure(),
-                base.container_modes().with_frequencies_scaled(scale),
-                base.mount(),
-                VibrationPath::DEFAULT_COUPLING,
-            );
-            let testbed = Testbed::paper_default(base).with_vibration_path(path);
-            let write_at = |hz: f64| {
-                let v = testbed
-                    .vibration_at(Frequency::from_hz(hz), Distance::from_cm(10.0));
-                steady_state(&geo, &timing, &servo, &tol, Some(&v), 8, DiskOpKind::Write)
-                    .throughput_mb_s
-            };
-            // Stale tuning: the paper's 650 Hz (probed at 10 cm where the
-            // margin is thin enough for drift to matter).
-            let stale = write_at(650.0);
-            // Retune: coarse scan for the most damaging frequency.
-            let mut best = (650.0, stale);
-            let mut hz = 100.0;
-            while hz <= 2_500.0 {
-                let w = write_at(hz);
-                if w < best.1 {
-                    best = (hz, w);
-                }
-                hz += 25.0;
+    [
+        ("winter 4°C", 4.0),
+        ("tank 21°C (calibration)", 21.0),
+        ("tropical 30°C", 30.0),
+    ]
+    .iter()
+    .map(|&(label, temp_c)| {
+        let stiffness = (1.0_f64 + stiffness_slope_per_c * (temp_c - calibration_temp_c)).max(0.2);
+        let scale = stiffness.sqrt();
+        let path = VibrationPath::new(
+            base.enclosure(),
+            base.container_modes().with_frequencies_scaled(scale),
+            base.mount(),
+            VibrationPath::DEFAULT_COUPLING,
+        );
+        let testbed = Testbed::paper_default(base).with_vibration_path(path);
+        let write_at = |hz: f64| {
+            let v = testbed.vibration_at(Frequency::from_hz(hz), Distance::from_cm(10.0));
+            steady_state(&geo, &timing, &servo, &tol, Some(&v), 8, DiskOpKind::Write)
+                .throughput_mb_s
+        };
+        // Stale tuning: the paper's 650 Hz (probed at 10 cm where the
+        // margin is thin enough for drift to matter).
+        let stale = write_at(650.0);
+        // Retune: coarse scan for the most damaging frequency.
+        let mut best = (650.0, stale);
+        let mut hz = 100.0;
+        while hz <= 2_500.0 {
+            let w = write_at(hz);
+            if w < best.1 {
+                best = (hz, w);
             }
-            SeasonRow {
-                label: label.to_string(),
-                frequency_scale: scale,
-                write_at_stale_tuning_mb_s: stale,
-                retuned_best_hz: best.0,
-                write_at_retuned_mb_s: best.1,
-            }
-        })
-        .collect()
+            hz += 25.0;
+        }
+        SeasonRow {
+            label: label.to_string(),
+            frequency_scale: scale,
+            write_at_stale_tuning_mb_s: stale,
+            retuned_best_hz: best.0,
+            write_at_retuned_mb_s: best.1,
+        }
+    })
+    .collect()
 }
 
 /// One row of the tone-vs-noise study.
@@ -387,7 +418,15 @@ pub fn noise_vs_tone() -> Vec<SpectrumRow> {
             })
             .collect();
         let combined = VibrationState::combined(&tones).expect("non-empty");
-        let ss = steady_state(&geo, &timing, &servo, &tol, Some(&combined), 8, DiskOpKind::Write);
+        let ss = steady_state(
+            &geo,
+            &timing,
+            &servo,
+            &tol,
+            Some(&combined),
+            8,
+            DiskOpKind::Write,
+        );
         rows.push(SpectrumRow {
             label: if n == 1 {
                 "pure 650 Hz tone (the paper's attack)".to_string()
@@ -425,7 +464,10 @@ pub fn attacker_power() -> Vec<PowerRow> {
     ]
     .into_iter()
     .map(|attacker| {
-        let emission = attacker.chain().retuned(Frequency::from_hz(650.0)).emission();
+        let emission = attacker
+            .chain()
+            .retuned(Frequency::from_hz(650.0))
+            .emission();
         PowerRow {
             label: attacker.name().to_string(),
             source_level_db: emission.source_level.db(),
@@ -543,10 +585,7 @@ mod tests {
         assert!(hardened.write_dead_band_hz <= paper.write_dead_band_hz);
         // And writes always die over at least as wide a band as reads.
         for r in &rows {
-            assert!(
-                r.write_dead_band_hz >= r.read_dead_band_hz,
-                "{r:?}"
-            );
+            assert!(r.write_dead_band_hz >= r.read_dead_band_hz, "{r:?}");
         }
     }
 
@@ -555,6 +594,9 @@ mod tests {
         let rows = attacker_power();
         let commercial = rows[0].blackout_range_m.unwrap_or(0.0);
         let military = rows[1].blackout_range_m.unwrap_or(0.0);
-        assert!(military > 10.0 * commercial.max(0.1), "c={commercial} m={military}");
+        assert!(
+            military > 10.0 * commercial.max(0.1),
+            "c={commercial} m={military}"
+        );
     }
 }

@@ -44,10 +44,7 @@ pub struct Discovery {
 impl Discovery {
     /// The contiguous vulnerable band `(lo, hi)` in Hz, if any.
     pub fn vulnerable_band(&self) -> Option<(f64, f64)> {
-        Some((
-            *self.vulnerable_hz.first()?,
-            *self.vulnerable_hz.last()?,
-        ))
+        Some((*self.vulnerable_hz.first()?, *self.vulnerable_hz.last()?))
     }
 }
 
@@ -92,7 +89,10 @@ pub fn remote_frequency_discovery(
     plan: &SweepPlan,
     requests_per_probe: u32,
 ) -> Discovery {
-    assert!(requests_per_probe > 0, "need at least one request per probe");
+    assert!(
+        requests_per_probe > 0,
+        "need at least one request per probe"
+    );
     let clock = Clock::new();
     let mut node = StorageNode::new(clock.clone());
     let vibration = node.disk.vibration();
@@ -120,8 +120,8 @@ pub fn remote_frequency_discovery(
         // Drain any retry debris so the next probe starts clean.
         let _ = node.request();
 
-        let mean = (!latencies.is_empty())
-            .then(|| latencies.iter().sum::<f64>() / latencies.len() as f64);
+        let mean =
+            (!latencies.is_empty()).then(|| latencies.iter().sum::<f64>() / latencies.len() as f64);
         let vulnerable = timeouts > 0 || mean.is_some_and(|m| m > threshold_ms);
         probes.push(Probe {
             frequency_hz: f.hz(),
@@ -178,12 +178,8 @@ mod tests {
     #[test]
     fn attacker_finds_the_band_without_inside_access() {
         let testbed = Testbed::paper_default(Scenario::PlasticTower);
-        let discovery = remote_frequency_discovery(
-            &testbed,
-            Distance::from_cm(1.0),
-            &quick_plan(),
-            6,
-        );
+        let discovery =
+            remote_frequency_discovery(&testbed, Distance::from_cm(1.0), &quick_plan(), 6);
         let (lo, hi) = discovery.vulnerable_band().expect("band must be found");
         // The paper's vulnerable band is 300 Hz–1.7 kHz; remote probing
         // must land inside/around it.
@@ -206,27 +202,20 @@ mod tests {
             1_000.0,
             500.0,
         );
-        let discovery =
-            remote_frequency_discovery(&testbed, Distance::from_cm(1.0), &plan, 6);
-        assert!(discovery.vulnerable_hz.is_empty(), "{:?}", discovery.vulnerable_hz);
+        let discovery = remote_frequency_discovery(&testbed, Distance::from_cm(1.0), &plan, 6);
+        assert!(
+            discovery.vulnerable_hz.is_empty(),
+            "{:?}",
+            discovery.vulnerable_hz
+        );
         assert!(discovery.best_frequency_hz.is_none());
     }
 
     #[test]
     fn farther_speaker_finds_a_narrower_band() {
         let testbed = Testbed::paper_default(Scenario::PlasticTower);
-        let near = remote_frequency_discovery(
-            &testbed,
-            Distance::from_cm(1.0),
-            &quick_plan(),
-            4,
-        );
-        let far = remote_frequency_discovery(
-            &testbed,
-            Distance::from_cm(15.0),
-            &quick_plan(),
-            4,
-        );
+        let near = remote_frequency_discovery(&testbed, Distance::from_cm(1.0), &quick_plan(), 4);
+        let far = remote_frequency_discovery(&testbed, Distance::from_cm(15.0), &quick_plan(), 4);
         assert!(far.vulnerable_hz.len() <= near.vulnerable_hz.len());
     }
 }

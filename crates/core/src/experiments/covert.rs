@@ -141,7 +141,12 @@ pub fn channel_budget(range_m: f64, water: &WaterConditions, bit_period_s: f64) 
 /// The ideal receiver: thresholds the emission timeline per bit period.
 /// Returns the decoded bits (correct whenever the budget says decodable —
 /// this is the noiseless-timing bound).
-pub fn decode(emissions: &[SimTime], start: SimTime, bit_period: SimDuration, bits: usize) -> Vec<bool> {
+pub fn decode(
+    emissions: &[SimTime],
+    start: SimTime,
+    bit_period: SimDuration,
+    bits: usize,
+) -> Vec<bool> {
     (0..bits)
         .map(|i| {
             let lo = start + bit_period * i as u64;
@@ -184,9 +189,8 @@ pub fn exfiltration_study() -> Vec<CovertRow> {
 
 /// Renders the study.
 pub fn render(rows: &[CovertRow]) -> String {
-    let mut out = String::from(
-        "Covert exfiltration (DiskFiltration underwater): seek-noise channel\n",
-    );
+    let mut out =
+        String::from("Covert exfiltration (DiskFiltration underwater): seek-noise channel\n");
     for r in rows {
         let rate = if r.bitrate_bps > 0.0 {
             format!("{:.1} bit/s", r.bitrate_bps)

@@ -153,7 +153,9 @@ pub fn rocksdb_crash(testbed: &Testbed) -> CrashRow {
     while clock.now().as_secs_f64() < WARMUP.as_secs_f64() {
         let i = rng.below(spec.num_keys);
         db.put(&spec.key(i), &spec.value(i)).expect("healthy phase");
-        let _ = db.get(&spec.key(rng.below(spec.num_keys))).expect("healthy phase");
+        let _ = db
+            .get(&spec.key(rng.below(spec.num_keys)))
+            .expect("healthy phase");
     }
     let attack_start = clock.now();
     testbed.mount_attack(&vibration, AttackParams::paper_best());
@@ -216,7 +218,11 @@ mod tests {
             "{}",
             rows[1].error
         );
-        assert!(rows[2].error.contains("sync_without_flush"), "{}", rows[2].error);
+        assert!(
+            rows[2].error.contains("sync_without_flush"),
+            "{}",
+            rows[2].error
+        );
     }
 
     #[test]

@@ -127,8 +127,7 @@ mod tests {
     fn scenario3_write_band_wider_than_read_band() {
         // Paper (§4.1): in Scenario 3 writes die over 300 Hz–1.3 kHz but
         // reads only over 300–800 Hz.
-        let sweep =
-            sweep_scenario(Scenario::MetalTower, Distance::from_cm(1.0), &coarse_plan());
+        let sweep = sweep_scenario(Scenario::MetalTower, Distance::from_cm(1.0), &coarse_plan());
         let (_, w_hi) = sweep.write_dead_band(1.0).unwrap();
         let (_, r_hi) = sweep.read_dead_band(1.0).unwrap();
         assert!(w_hi > r_hi, "write band ends {w_hi}, read band ends {r_hi}");
@@ -139,8 +138,16 @@ mod tests {
         for sweep in figure2(Distance::from_cm(1.0), &coarse_plan()) {
             let w_at_8k = sweep.write.nearest_y(8_000.0).unwrap();
             let r_at_8k = sweep.read.nearest_y(8_000.0).unwrap();
-            assert!((w_at_8k - 22.7).abs() < 0.5, "{}: {w_at_8k}", sweep.scenario);
-            assert!((r_at_8k - 18.0).abs() < 0.5, "{}: {r_at_8k}", sweep.scenario);
+            assert!(
+                (w_at_8k - 22.7).abs() < 0.5,
+                "{}: {w_at_8k}",
+                sweep.scenario
+            );
+            assert!(
+                (r_at_8k - 18.0).abs() < 0.5,
+                "{}: {r_at_8k}",
+                sweep.scenario
+            );
         }
     }
 

@@ -90,8 +90,7 @@ pub fn compute(testbed: &Testbed, frequencies_hz: Vec<f64>, distances_cm: Vec<f6
             distances_cm
                 .iter()
                 .map(|&cm| {
-                    let v = testbed
-                        .vibration_at(Frequency::from_hz(hz), Distance::from_cm(cm));
+                    let v = testbed.vibration_at(Frequency::from_hz(hz), Distance::from_cm(cm));
                     steady_state(&geo, &timing, &servo, &tol, Some(&v), 8, DiskOpKind::Write)
                         .throughput_mb_s
                 })
@@ -131,7 +130,7 @@ mod tests {
         assert!(row_650.is_none());
         let row_600 = m.frequencies_hz.iter().position(|&f| f == 600.0).unwrap();
         assert_eq!(m.at(row_600, 0), 0.0); // 1 cm
-        // Far column recovered.
+                                           // Far column recovered.
         let last_col = m.distances_cm.len() - 1;
         assert!((m.at(row_600, last_col) - 22.7).abs() < 0.1);
         // Out-of-band row never degraded.
@@ -173,6 +172,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty")]
     fn empty_axis_rejected() {
-        compute(&Testbed::paper_default(Scenario::PlasticTower), vec![], vec![1.0]);
+        compute(
+            &Testbed::paper_default(Scenario::PlasticTower),
+            vec![],
+            vec![1.0],
+        );
     }
 }

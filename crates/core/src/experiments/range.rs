@@ -52,11 +52,7 @@ fn row_label(distance_cm: Option<f64>) -> String {
 
 /// Runs one Table 1 row: fresh drive, attack mounted (or not), FIO read
 /// then write for `seconds` each.
-pub fn fio_row(
-    testbed: &Testbed,
-    distance_cm: Option<f64>,
-    seconds: u64,
-) -> FioRangeRow {
+pub fn fio_row(testbed: &Testbed, distance_cm: Option<f64>, seconds: u64) -> FioRangeRow {
     let clock = Clock::new();
     let mut disk = HddDisk::barracuda_500gb(clock.clone());
     if let Some(cm) = distance_cm {
@@ -200,7 +196,15 @@ mod tests {
             assert!(row.throughput_mb_s < 0.2, "{row:?}");
         }
         // Recovery by 20 cm.
-        assert!(rows[5].throughput_mb_s > 0.8 * base.throughput_mb_s, "{:?}", rows[5]);
-        assert!(rows[6].throughput_mb_s > 0.8 * base.throughput_mb_s, "{:?}", rows[6]);
+        assert!(
+            rows[5].throughput_mb_s > 0.8 * base.throughput_mb_s,
+            "{:?}",
+            rows[5]
+        );
+        assert!(
+            rows[6].throughput_mb_s > 0.8 * base.throughput_mb_s,
+            "{:?}",
+            rows[6]
+        );
     }
 }

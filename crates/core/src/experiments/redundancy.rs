@@ -47,7 +47,9 @@ fn run_layout(label: &str, mirror_distances_cm: [f64; 2]) -> RedundancyOutcome {
     // Healthy warm-up writes.
     let buf = vec![0xA5u8; 4096];
     for i in 0..50u64 {
-        array.write_blocks(i * 8, &buf).expect("healthy array serves");
+        array
+            .write_blocks(i * 8, &buf)
+            .expect("healthy array serves");
     }
 
     // Attack: each mirror receives the vibration for its own distance.
@@ -123,16 +125,21 @@ mod tests {
         // Same enclosure: every attacked write fails, the array reports
         // failure during the attack.
         assert_eq!(colocated.writes_served_during_attack, 0, "{colocated:?}");
-        assert!(colocated.state_during_attack.contains("Failed"), "{colocated:?}");
+        assert!(
+            colocated.state_during_attack.contains("Failed"),
+            "{colocated:?}"
+        );
 
         // Separated: everything keeps being served in degraded mode, and
         // the failed mirror resyncs afterwards.
         assert_eq!(
-            separated.writes_served_during_attack,
-            separated.writes_attempted_during_attack,
+            separated.writes_served_during_attack, separated.writes_attempted_during_attack,
             "{separated:?}"
         );
-        assert!(separated.state_during_attack.contains("Degraded"), "{separated:?}");
+        assert!(
+            separated.state_during_attack.contains("Degraded"),
+            "{separated:?}"
+        );
         assert!(separated.recovered_to_optimal);
         assert!(separated.resynced_blocks > 0);
     }

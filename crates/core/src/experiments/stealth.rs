@@ -130,8 +130,7 @@ pub fn duty_cycle_sweep(testbed: &Testbed) -> Vec<StealthRow> {
 
 /// Renders the sweep.
 pub fn render(rows: &[StealthRow]) -> String {
-    let mut out =
-        String::from("Stealth study: pulsed attack duty cycle vs damage vs detection\n");
+    let mut out = String::from("Stealth study: pulsed attack duty cycle vs damage vs detection\n");
     for r in rows {
         let det = match r.detected_after_s {
             Some(s) => format!("alarm at {s:.1} s"),

@@ -25,6 +25,23 @@ pub enum Impact {
     Blackout,
 }
 
+impl Impact {
+    /// The unaffected cut: at least this fraction of the quiet baseline.
+    pub const UNAFFECTED_FRACTION: f64 = 0.95;
+
+    /// Classifies a drive from its responsiveness and write throughput
+    /// relative to the quiet baseline.
+    pub fn classify(responsive: bool, throughput_mb_s: f64, baseline_mb_s: f64) -> Impact {
+        if !responsive {
+            Impact::Blackout
+        } else if throughput_mb_s >= Self::UNAFFECTED_FRACTION * baseline_mb_s {
+            Impact::Unaffected
+        } else {
+            Impact::Degraded
+        }
+    }
+}
+
 /// One drive's row in the fleet report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DriveImpact {
@@ -105,15 +122,8 @@ impl Fleet {
             .enumerate()
             .map(|(index, &pos)| {
                 let v = self.testbed.vibration_at(params.frequency, pos);
-                let ss =
-                    steady_state(&geo, &timing, &servo, &tol, Some(&v), 8, DiskOpKind::Write);
-                let impact = if !ss.responsive() {
-                    Impact::Blackout
-                } else if ss.throughput_mb_s >= 0.95 * baseline {
-                    Impact::Unaffected
-                } else {
-                    Impact::Degraded
-                };
+                let ss = steady_state(&geo, &timing, &servo, &tol, Some(&v), 8, DiskOpKind::Write);
+                let impact = Impact::classify(ss.responsive(), ss.throughput_mb_s, baseline);
                 DriveImpact {
                     index,
                     distance_cm: pos.cm(),
@@ -157,10 +167,55 @@ mod tests {
 
     #[test]
     fn out_of_band_attack_hits_nothing() {
-        let params = AttackParams::paper_best()
-            .at_frequency(deepnote_acoustics::Frequency::from_khz(10.0));
+        let params =
+            AttackParams::paper_best().at_frequency(deepnote_acoustics::Frequency::from_khz(10.0));
         let report = fleet().assess(params);
         assert_eq!(report.affected(), 0);
+    }
+
+    #[test]
+    fn classification_boundary_is_inclusive_at_95_percent() {
+        let baseline = 100.0;
+        assert_eq!(Impact::classify(true, 95.0, baseline), Impact::Unaffected);
+        assert_eq!(Impact::classify(true, 94.999, baseline), Impact::Degraded);
+        assert_eq!(
+            Impact::classify(true, baseline, baseline),
+            Impact::Unaffected
+        );
+        // Responsive but crawling is degraded, never blackout.
+        assert_eq!(Impact::classify(true, 0.0, baseline), Impact::Degraded);
+        // Unresponsive is blackout regardless of the throughput figure.
+        assert_eq!(
+            Impact::classify(false, baseline, baseline),
+            Impact::Blackout
+        );
+        assert_eq!(Impact::classify(false, 0.0, baseline), Impact::Blackout);
+    }
+
+    #[test]
+    fn empty_report_counts_are_zero() {
+        let report = FleetReport { drives: Vec::new() };
+        assert_eq!(report.blacked_out(), 0);
+        assert_eq!(report.affected(), 0);
+    }
+
+    #[test]
+    fn affected_includes_blackout_and_degraded() {
+        let row = |impact| DriveImpact {
+            index: 0,
+            distance_cm: 1.0,
+            write_mb_s: 0.0,
+            impact,
+        };
+        let report = FleetReport {
+            drives: vec![
+                row(Impact::Blackout),
+                row(Impact::Degraded),
+                row(Impact::Unaffected),
+            ],
+        };
+        assert_eq!(report.blacked_out(), 1);
+        assert_eq!(report.affected(), 2);
     }
 
     #[test]

@@ -42,6 +42,58 @@ where
     .expect("crossbeam scope")
 }
 
+/// Runs every job on its own scoped thread, surfacing each job's panic
+/// as an `Err` instead of tearing the caller down.
+///
+/// Results come back in input order; a panicking job yields `Err` with
+/// the panic message while the other jobs complete normally. Use this
+/// for campaign-style batches where one broken operating point should
+/// not discard the rest of the matrix.
+///
+/// # Example
+///
+/// ```
+/// use deepnote_core::parallel::try_run_all;
+///
+/// let results = try_run_all(vec![
+///     Box::new(|| 2 + 2) as Box<dyn FnOnce() -> i32 + Send>,
+///     Box::new(|| panic!("bad operating point")),
+/// ]);
+/// assert_eq!(results[0], Ok(4));
+/// assert_eq!(results[1], Err("bad operating point".to_string()));
+/// ```
+pub fn try_run_all<T, F>(jobs: Vec<F>) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| scope.spawn(move |_| job()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|payload| panic_message(payload.as_ref())))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked with a non-string payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +140,27 @@ mod tests {
     #[should_panic(expected = "experiment thread panicked")]
     fn job_panics_propagate() {
         let _ = run_all(vec![|| -> u32 { panic!("boom") }]);
+    }
+
+    #[test]
+    fn try_run_all_surfaces_panics_without_losing_siblings() {
+        type Job = Box<dyn FnOnce() -> u32 + Send>;
+        let jobs: Vec<Job> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("static message")),
+            Box::new(|| panic!("formatted {}", 42)),
+            Box::new(|| 4),
+        ];
+        let results = try_run_all(jobs);
+        assert_eq!(results[0], Ok(1));
+        assert_eq!(results[1], Err("static message".to_string()));
+        assert_eq!(results[2], Err("formatted 42".to_string()));
+        assert_eq!(results[3], Ok(4));
+    }
+
+    #[test]
+    fn try_run_all_empty_input_is_fine() {
+        let results: Vec<Result<u32, String>> = try_run_all(Vec::<fn() -> u32>::new());
+        assert!(results.is_empty());
     }
 }

@@ -92,9 +92,8 @@ pub fn render_figure2(sweeps: &[FrequencySweep]) -> String {
 
 /// Renders the water-conditions ablation.
 pub fn render_water(rows: &[WaterRow]) -> String {
-    let mut out = String::from(
-        "Ablation: water conditions vs blackout range (military projector, 650 Hz)\n",
-    );
+    let mut out =
+        String::from("Ablation: water conditions vs blackout range (military projector, 650 Hz)\n");
     for r in rows {
         let range = match r.blackout_range_m {
             Some(m) => format!("{m:.1} m"),

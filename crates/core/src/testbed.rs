@@ -184,10 +184,10 @@ mod tests {
     #[test]
     fn scenarios_differ() {
         let p = AttackParams::paper_best();
-        let s1 = Testbed::paper_default(Scenario::PlasticDirect)
-            .vibration_at(p.frequency, p.distance);
-        let s2 = Testbed::paper_default(Scenario::PlasticTower)
-            .vibration_at(p.frequency, p.distance);
+        let s1 =
+            Testbed::paper_default(Scenario::PlasticDirect).vibration_at(p.frequency, p.distance);
+        let s2 =
+            Testbed::paper_default(Scenario::PlasticTower).vibration_at(p.frequency, p.distance);
         assert_ne!(s1.displacement_nm(), s2.displacement_nm());
     }
 }

@@ -126,9 +126,18 @@ mod tests {
     #[test]
     fn entries_roundtrip() {
         let entries = vec![
-            DirEntry { ino: 2, name: "var".into() },
-            DirEntry { ino: 77, name: "журнал".into() },
-            DirEntry { ino: 3, name: "x".repeat(255) },
+            DirEntry {
+                ino: 2,
+                name: "var".into(),
+            },
+            DirEntry {
+                ino: 77,
+                name: "журнал".into(),
+            },
+            DirEntry {
+                ino: 3,
+                name: "x".repeat(255),
+            },
         ];
         let decoded = decode_entries(&encode_entries(&entries)).unwrap();
         assert_eq!(decoded, entries);
@@ -142,7 +151,10 @@ mod tests {
 
     #[test]
     fn truncated_entries_rejected() {
-        let entries = vec![DirEntry { ino: 2, name: "var".into() }];
+        let entries = vec![DirEntry {
+            ino: 2,
+            name: "var".into(),
+        }];
         let buf = encode_entries(&entries);
         assert!(decode_entries(&buf[..buf.len() - 1]).is_err());
         assert!(decode_entries(&buf[..4]).is_err());

@@ -40,7 +40,10 @@ impl FsError {
     /// Whether this error means the filesystem as a whole is dead (vs. a
     /// single failed operation).
     pub fn is_fatal(&self) -> bool {
-        matches!(self, FsError::JournalAborted { .. } | FsError::BadSuperblock)
+        matches!(
+            self,
+            FsError::JournalAborted { .. } | FsError::BadSuperblock
+        )
     }
 }
 
@@ -49,7 +52,10 @@ impl fmt::Display for FsError {
         match self {
             FsError::Io(e) => write!(f, "I/O error: {e}"),
             FsError::JournalAborted { errno } => {
-                write!(f, "journal has aborted (JBD error {errno}); filesystem read-only")
+                write!(
+                    f,
+                    "journal has aborted (JBD error {errno}); filesystem read-only"
+                )
             }
             FsError::NoSpace => write!(f, "no space left on device"),
             FsError::NotFound => write!(f, "no such file or directory"),

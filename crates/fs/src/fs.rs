@@ -10,7 +10,9 @@ use crate::dir::{decode_entries, encode_entries, split_path, DirEntry};
 use crate::error::FsError;
 use crate::inode::{Inode, InodeKind, DIRECT_POINTERS, INDIRECT_POINTERS, MAX_FILE_SIZE, NO_BLOCK};
 use crate::journal::{read_fs_block, write_fs_block, Journal, JournalConfig};
-use crate::layout::{SbState, Superblock, FS_BLOCK_SIZE, INODES_PER_BLOCK, INODE_DISK_SIZE, ROOT_INO};
+use crate::layout::{
+    SbState, Superblock, FS_BLOCK_SIZE, INODES_PER_BLOCK, INODE_DISK_SIZE, ROOT_INO,
+};
 use deepnote_blockdev::BlockDevice;
 use deepnote_sim::{Clock, SimTime};
 use serde::{Deserialize, Serialize};
@@ -633,8 +635,8 @@ impl<D: BlockDevice> Filesystem<D> {
                 .copy_from_slice(&data[written..written + chunk_len]);
             written += chunk_len;
 
-            let contiguous =
-                !run_buf.is_empty() && fs_block == run_start + (run_buf.len() / FS_BLOCK_SIZE) as u64;
+            let contiguous = !run_buf.is_empty()
+                && fs_block == run_start + (run_buf.len() / FS_BLOCK_SIZE) as u64;
             if contiguous {
                 run_buf.extend_from_slice(&img);
             } else {
@@ -681,7 +683,7 @@ impl<D: BlockDevice> Filesystem<D> {
             let block_start = b * FS_BLOCK_SIZE as u64;
             let take = (end - pos).min(FS_BLOCK_SIZE as u64 - (pos - block_start)) as usize;
             if fs_block == NO_BLOCK {
-                out.extend(std::iter::repeat(0u8).take(take));
+                out.extend(std::iter::repeat_n(0u8, take));
             } else {
                 let raw = self.read_effective(fs_block)?;
                 let off = (pos - block_start) as usize;
@@ -817,7 +819,7 @@ impl<D: BlockDevice> Filesystem<D> {
         }
         // Zero the tail of the last kept block so stale bytes cannot
         // reappear if the file grows again.
-        if new_size % FS_BLOCK_SIZE as u64 != 0 && new_size < inode.size {
+        if !new_size.is_multiple_of(FS_BLOCK_SIZE as u64) && new_size < inode.size {
             let b = new_size / FS_BLOCK_SIZE as u64;
             let fs_block = self.inode_block(&mut inode, b, false)?;
             if fs_block != NO_BLOCK {
@@ -884,7 +886,11 @@ impl<D: BlockDevice> Filesystem<D> {
     /// Lookup and device errors.
     pub fn walk(&mut self, path: &str) -> Result<Vec<(String, Inode)>, FsError> {
         let (_, inode) = self.resolve(path)?;
-        let root = if path == "/" { String::new() } else { path.trim_end_matches('/').to_string() };
+        let root = if path == "/" {
+            String::new()
+        } else {
+            path.trim_end_matches('/').to_string()
+        };
         let mut out = Vec::new();
         let mut stack = vec![(root, inode)];
         while let Some((prefix, inode)) = stack.pop() {
@@ -977,7 +983,9 @@ impl<D: BlockDevice> Filesystem<D> {
                 }
             }
             if inode.indirect != NO_BLOCK
-                && !self.block_bitmap.is_set(inode.indirect - self.sb.data_start)
+                && !self
+                    .block_bitmap
+                    .is_set(inode.indirect - self.sb.data_start)
             {
                 problems.push(format!("indirect block of inode {ino} free in bitmap"));
             }
@@ -1016,7 +1024,12 @@ mod tests {
         fs.create("/a").unwrap();
         fs.create("/a/b").unwrap();
         fs.create_file("/a/b/f").unwrap();
-        let names: Vec<String> = fs.list_dir("/a/b").unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<String> = fs
+            .list_dir("/a/b")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["f"]);
         assert_eq!(fs.stat("/a/b/f").unwrap().kind, InodeKind::File);
         assert_eq!(fs.stat("/a").unwrap().kind, InodeKind::Directory);
@@ -1247,8 +1260,7 @@ mod tests {
         let clock = Clock::new();
         let disk = MemDisk::new(1 << 17);
         let mut fs =
-            Filesystem::format(FaultInjector::new(disk, FaultPlan::None), clock.clone())
-                .unwrap();
+            Filesystem::format(FaultInjector::new(disk, FaultPlan::None), clock.clone()).unwrap();
         fs.create_file("/victim").unwrap();
         fs.write_file("/victim", 0, b"before attack").unwrap();
         fs.commit().unwrap();
@@ -1305,8 +1317,7 @@ mod tests {
         let clock = Clock::new();
         let disk = MemDisk::new(1 << 17);
         let mut fs =
-            Filesystem::format(FaultInjector::new(disk, FaultPlan::None), clock.clone())
-                .unwrap();
+            Filesystem::format(FaultInjector::new(disk, FaultPlan::None), clock.clone()).unwrap();
         fs.create_file("/f").unwrap();
         fs.device_mut().set_plan(FaultPlan::FailFrom {
             start: 0,

@@ -14,8 +14,7 @@ pub const DIRECT_POINTERS: usize = 12;
 /// Block pointers held by the single-indirect block.
 pub const INDIRECT_POINTERS: usize = FS_BLOCK_SIZE / 8;
 /// Maximum file size in bytes.
-pub const MAX_FILE_SIZE: u64 =
-    (DIRECT_POINTERS + INDIRECT_POINTERS) as u64 * FS_BLOCK_SIZE as u64;
+pub const MAX_FILE_SIZE: u64 = (DIRECT_POINTERS + INDIRECT_POINTERS) as u64 * FS_BLOCK_SIZE as u64;
 /// Sentinel for an unallocated block pointer.
 pub const NO_BLOCK: u64 = 0;
 

@@ -46,10 +46,7 @@ impl Default for JournalConfig {
 }
 
 /// Reads one filesystem block.
-pub(crate) fn read_fs_block(
-    dev: &mut dyn BlockDevice,
-    fs_block: u64,
-) -> Result<Vec<u8>, FsError> {
+pub(crate) fn read_fs_block(dev: &mut dyn BlockDevice, fs_block: u64) -> Result<Vec<u8>, FsError> {
     let mut buf = vec![0u8; FS_BLOCK_SIZE];
     dev.read_blocks(fs_block * SECTORS_PER_FS_BLOCK, &mut buf)?;
     Ok(buf)
@@ -61,7 +58,7 @@ pub(crate) fn write_fs_block(
     fs_block: u64,
     data: &[u8],
 ) -> Result<(), FsError> {
-    debug_assert!(!data.is_empty() && data.len() % FS_BLOCK_SIZE == 0);
+    debug_assert!(!data.is_empty() && data.len().is_multiple_of(FS_BLOCK_SIZE));
     dev.write_blocks(fs_block * SECTORS_PER_FS_BLOCK, data)?;
     Ok(())
 }
@@ -158,7 +155,11 @@ impl Journal {
     ///
     /// Panics if the image is not exactly one filesystem block.
     pub fn stage(&mut self, home_block: u64, image: Vec<u8>) {
-        assert_eq!(image.len(), FS_BLOCK_SIZE, "staged image must be one fs block");
+        assert_eq!(
+            image.len(),
+            FS_BLOCK_SIZE,
+            "staged image must be one fs block"
+        );
         self.txn.insert(home_block, image);
     }
 
@@ -273,8 +274,11 @@ impl Journal {
         // Descriptor + images + commit block form one contiguous record in
         // the journal region; issue them as a single sequential write —
         // exactly why journaling is fast on rotating media.
-        let images: Vec<(u64, Vec<u8>)> =
-            self.txn.iter().map(|(no, img)| (*no, img.clone())).collect();
+        let images: Vec<(u64, Vec<u8>)> = self
+            .txn
+            .iter()
+            .map(|(no, img)| (*no, img.clone()))
+            .collect();
         let mut record = vec![0u8; FS_BLOCK_SIZE * (2 + images.len())];
         {
             let mut w = Writer::new(&mut record[..FS_BLOCK_SIZE]);
@@ -363,9 +367,8 @@ impl Journal {
             }
             let cmt_raw = read_fs_block(dev, region_start + off + 1 + count)?;
             let mut cr = Reader::new(&cmt_raw);
-            let valid = cr.u32() == JCOMMIT_MAGIC
-                && cr.u64() == seq
-                && cr.u32() == checksum(&images);
+            let valid =
+                cr.u32() == JCOMMIT_MAGIC && cr.u64() == seq && cr.u32() == checksum(&images);
             if valid {
                 candidates.insert(seq, images.into_iter().collect());
                 off += 1 + count + 1;
@@ -544,9 +547,14 @@ mod tests {
         };
         write_fs_block(&mut dev, REGION, &stale_jsb).unwrap();
 
-        let (j2, applied) =
-            Journal::recover(JournalConfig::default(), &mut dev, REGION, RLEN, clock.now())
-                .unwrap();
+        let (j2, applied) = Journal::recover(
+            JournalConfig::default(),
+            &mut dev,
+            REGION,
+            RLEN,
+            clock.now(),
+        )
+        .unwrap();
         assert_eq!(applied, 1);
         assert_eq!(read_fs_block(&mut dev, 200).unwrap(), image(0x11));
         assert_eq!(read_fs_block(&mut dev, 201).unwrap(), image(0x22));
@@ -564,9 +572,14 @@ mod tests {
         // in-place update happened) and recover: the clean transaction
         // must NOT be re-applied over the newer data.
         write_fs_block(&mut dev, 300, &image(0x99)).unwrap();
-        let (_, applied) =
-            Journal::recover(JournalConfig::default(), &mut dev, REGION, RLEN, clock.now())
-                .unwrap();
+        let (_, applied) = Journal::recover(
+            JournalConfig::default(),
+            &mut dev,
+            REGION,
+            RLEN,
+            clock.now(),
+        )
+        .unwrap();
         assert_eq!(applied, 0);
         assert_eq!(read_fs_block(&mut dev, 300).unwrap(), image(0x99));
     }
@@ -592,9 +605,14 @@ mod tests {
             buf
         };
         write_fs_block(&mut dev, REGION, &stale_jsb).unwrap();
-        let (_, applied) =
-            Journal::recover(JournalConfig::default(), &mut dev, REGION, RLEN, clock.now())
-                .unwrap();
+        let (_, applied) = Journal::recover(
+            JournalConfig::default(),
+            &mut dev,
+            REGION,
+            RLEN,
+            clock.now(),
+        )
+        .unwrap();
         assert_eq!(applied, 0);
         assert_eq!(read_fs_block(&mut dev, 400).unwrap(), image(0));
     }
@@ -605,7 +623,10 @@ mod tests {
         let mut dev = MemDisk::new(1 << 16);
         let mut j = fresh(&mut dev, &clock);
         j.stage(700, image(0x10));
-        let data = vec![(800u64, image(0x42)), (900u64, vec![7u8; FS_BLOCK_SIZE * 2])];
+        let data = vec![
+            (800u64, image(0x42)),
+            (900u64, vec![7u8; FS_BLOCK_SIZE * 2]),
+        ];
         j.commit(&mut dev, &clock, &data).unwrap();
         assert_eq!(read_fs_block(&mut dev, 700).unwrap(), image(0x10));
         assert_eq!(read_fs_block(&mut dev, 800).unwrap(), image(0x42));

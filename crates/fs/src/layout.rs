@@ -286,7 +286,10 @@ mod tests {
     #[test]
     fn plan_caps_at_4gib() {
         let sb = Superblock::plan(u64::MAX / 1024).unwrap();
-        assert_eq!(sb.total_blocks, 4 * 1024 * 1024 * 1024 / FS_BLOCK_SIZE as u64);
+        assert_eq!(
+            sb.total_blocks,
+            4 * 1024 * 1024 * 1024 / FS_BLOCK_SIZE as u64
+        );
     }
 
     #[test]
@@ -308,7 +311,10 @@ mod tests {
     fn bad_magic_rejected() {
         let buf = vec![0u8; FS_BLOCK_SIZE];
         assert_eq!(Superblock::from_block(&buf), Err(FsError::BadSuperblock));
-        assert_eq!(Superblock::from_block(&[0u8; 10]), Err(FsError::BadSuperblock));
+        assert_eq!(
+            Superblock::from_block(&[0u8; 10]),
+            Err(FsError::BadSuperblock)
+        );
     }
 
     #[test]

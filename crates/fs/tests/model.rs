@@ -30,7 +30,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         path.clone().prop_map(Op::CreateFile),
         path.clone().prop_map(Op::Mkdir),
-        (path.clone(), 0u16..5_000, proptest::collection::vec(any::<u8>(), 1..300))
+        (
+            path.clone(),
+            0u16..5_000,
+            proptest::collection::vec(any::<u8>(), 1..300)
+        )
             .prop_map(|(p, off, data)| Op::Write(p, off, data)),
         (path.clone(), 0u16..6_000, 1u16..500).prop_map(|(p, o, l)| Op::Read(p, o, l)),
         path.clone().prop_map(Op::Unlink),
@@ -68,7 +72,10 @@ impl Model {
 
     fn has_children(&self, dir: &str) -> bool {
         let prefix = format!("{}/", dir.trim_end_matches('/'));
-        self.files.keys().chain(self.dirs.keys()).any(|p| p.starts_with(&prefix))
+        self.files
+            .keys()
+            .chain(self.dirs.keys())
+            .any(|p| p.starts_with(&prefix))
     }
 
     fn create_file(&mut self, path: &str) -> Result<(), &'static str> {
@@ -200,19 +207,31 @@ fn apply(fs: &mut Filesystem<MemDisk>, model: &mut Model, op: &Op) {
             let path = POOL[*p];
             let real = fs.create_file(path);
             let modeled = model.create_file(path);
-            assert_eq!(real.is_ok(), modeled.is_ok(), "create_file({path}): {real:?} vs {modeled:?}");
+            assert_eq!(
+                real.is_ok(),
+                modeled.is_ok(),
+                "create_file({path}): {real:?} vs {modeled:?}"
+            );
         }
         Op::Mkdir(p) => {
             let path = POOL[*p];
             let real = fs.create(path);
             let modeled = model.mkdir(path);
-            assert_eq!(real.is_ok(), modeled.is_ok(), "mkdir({path}): {real:?} vs {modeled:?}");
+            assert_eq!(
+                real.is_ok(),
+                modeled.is_ok(),
+                "mkdir({path}): {real:?} vs {modeled:?}"
+            );
         }
         Op::Write(p, off, data) => {
             let path = POOL[*p];
             let real = fs.write_file(path, *off as u64, data);
             let modeled = model.write(path, *off as usize, data);
-            assert_eq!(real.is_ok(), modeled.is_ok(), "write({path}): {real:?} vs {modeled:?}");
+            assert_eq!(
+                real.is_ok(),
+                modeled.is_ok(),
+                "write({path}): {real:?} vs {modeled:?}"
+            );
         }
         Op::Read(p, off, len) => {
             let path = POOL[*p];
@@ -227,7 +246,11 @@ fn apply(fs: &mut Filesystem<MemDisk>, model: &mut Model, op: &Op) {
             let path = POOL[*p];
             let real = fs.unlink(path);
             let modeled = model.unlink(path);
-            assert_eq!(real.is_ok(), modeled.is_ok(), "unlink({path}): {real:?} vs {modeled:?}");
+            assert_eq!(
+                real.is_ok(),
+                modeled.is_ok(),
+                "unlink({path}): {real:?} vs {modeled:?}"
+            );
         }
         Op::Rename(a, b) => {
             let from = POOL[*a];
@@ -247,7 +270,11 @@ fn apply(fs: &mut Filesystem<MemDisk>, model: &mut Model, op: &Op) {
             let path = POOL[*p];
             let real = fs.truncate(path, *size as u64);
             let modeled = model.truncate(path, *size as usize);
-            assert_eq!(real.is_ok(), modeled.is_ok(), "truncate({path}): {real:?} vs {modeled:?}");
+            assert_eq!(
+                real.is_ok(),
+                modeled.is_ok(),
+                "truncate({path}): {real:?} vs {modeled:?}"
+            );
         }
         Op::Commit => {
             fs.commit().expect("commit on a healthy device");
@@ -307,10 +334,10 @@ fn regression_rename_then_write() {
     let mut fs = Filesystem::format(MemDisk::new(1 << 17), clock).unwrap();
     let mut model = Model::new();
     let ops = [
-        Op::Mkdir(4),          // /dir
-        Op::CreateFile(2),     // /dir/x
+        Op::Mkdir(4),      // /dir
+        Op::CreateFile(2), // /dir/x
         Op::Write(2, 100, vec![7u8; 64]),
-        Op::Rename(2, 3),      // /dir/x -> /dir/y
+        Op::Rename(2, 3), // /dir/x -> /dir/y
         Op::Write(3, 0, vec![9u8; 32]),
         Op::Commit,
         Op::Unlink(3),

@@ -19,7 +19,8 @@ fn build_crashed_device(extra_ops: usize) -> MemDisk {
     let mut fs = Filesystem::format(MemDisk::new(1 << 17), clock).unwrap();
     fs.create("/data").unwrap();
     fs.create_file("/data/committed").unwrap();
-    fs.write_file("/data/committed", 0, b"durable payload").unwrap();
+    fs.write_file("/data/committed", 0, b"durable payload")
+        .unwrap();
     fs.commit().unwrap();
     // Uncommitted tail: may or may not survive, but must never corrupt.
     for i in 0..extra_ops {
@@ -40,8 +41,7 @@ fn build_crashed_device(extra_ops: usize) -> MemDisk {
 
 fn check_mountable(mut dev: MemDisk) {
     let clock = Clock::new();
-    let (mut fs, _) = match Filesystem::mount(std::mem::replace(&mut dev, MemDisk::new(1)), clock)
-    {
+    let (mut fs, _) = match Filesystem::mount(std::mem::replace(&mut dev, MemDisk::new(1)), clock) {
         Ok(x) => x,
         // A corrupted superblock is allowed to refuse the mount — what is
         // not allowed is a panic or a silent inconsistency.

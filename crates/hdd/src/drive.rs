@@ -303,7 +303,7 @@ impl HardDiskDrive {
         if op
             .lba
             .checked_add(op.sectors)
-            .map_or(true, |end| end > self.geometry.total_sectors())
+            .is_none_or(|end| end > self.geometry.total_sectors())
         {
             return Err(DriveError::OutOfRange);
         }
@@ -312,8 +312,8 @@ impl HardDiskDrive {
         // heads unloaded.
         if let Some(v) = self.vibration.current() {
             if self.servo.triggers_shock_park(&v) {
-                let until = self.clock.now()
-                    + SimDuration::from_secs_f64(self.servo.park_duration_s());
+                let until =
+                    self.clock.now() + SimDuration::from_secs_f64(self.servo.park_duration_s());
                 self.parked_until = Some(until);
             }
         }
@@ -334,12 +334,12 @@ impl HardDiskDrive {
         // charge even across a cylinder boundary. Writes acknowledged from
         // the drive's write cache don't charge the host for positioning
         // either (the media write still happens and can still fail).
-        let sequential = self.last_lba_end == Some(op.lba)
-            || (!read && self.timing.write_cache());
+        let sequential = self.last_lba_end == Some(op.lba) || (!read && self.timing.write_cache());
         let target_cyl = self.geometry.cylinder_of(op.lba);
         if !sequential {
-            let seek_s =
-                self.timing.seek_s(&self.geometry, self.current_cylinder, target_cyl);
+            let seek_s = self
+                .timing
+                .seek_s(&self.geometry, self.current_cylinder, target_cyl);
             if seek_s > 0.0 {
                 self.clock.advance(SimDuration::from_secs_f64(
                     seek_s + self.timing.rotational_latency_s(&self.geometry),
@@ -354,7 +354,8 @@ impl HardDiskDrive {
             .advance(SimDuration::from_secs_f64(self.timing.overhead_s(read)));
 
         // Media transfer attempts.
-        let transfer = SimDuration::from_secs_f64(self.timing.transfer_s(&self.geometry, op.sectors));
+        let transfer =
+            SimDuration::from_secs_f64(self.timing.transfer_s(&self.geometry, op.sectors));
         let p = self.attempt_success_probability(op.kind);
         let retry_delay = SimDuration::from_secs_f64(self.timing.retry_delay_s(read));
         let mut retries = 0u32;
@@ -518,7 +519,10 @@ mod tests {
         // 20 kHz at 0.05 µm ≈ 80 g > 40 g threshold.
         d.vibration()
             .set(Some(VibrationState::new(Frequency::from_khz(20.0), 0.05)));
-        assert_eq!(d.execute(DiskOp::read(0, 8)).unwrap_err(), DriveError::HeadsParked);
+        assert_eq!(
+            d.execute(DiskOp::read(0, 8)).unwrap_err(),
+            DriveError::HeadsParked
+        );
         // Clearing the vibration lets the drive recover after the park
         // window has elapsed (execute advanced the clock through it).
         d.vibration().clear();
@@ -530,7 +534,10 @@ mod tests {
         let mut d = drive();
         let clock = d.clock().clone();
         let t0 = clock.now();
-        assert_eq!(d.execute(DiskOp::read(0, 0)).unwrap_err(), DriveError::EmptyOp);
+        assert_eq!(
+            d.execute(DiskOp::read(0, 0)).unwrap_err(),
+            DriveError::EmptyOp
+        );
         let max = d.geometry().total_sectors();
         assert_eq!(
             d.execute(DiskOp::read(max, 8)).unwrap_err(),

@@ -109,9 +109,9 @@ impl TimingModel {
         TimingModel::new(
             read_total - xfer_4k,
             write_total - xfer_4k,
-            0.8e-3,  // track-to-track seek
-            17.0e-3, // full stroke
-            0.25e-3, // read retry: next servo opportunity
+            0.8e-3,             // track-to-track seek
+            17.0e-3,            // full stroke
+            0.25e-3,            // read retry: next servo opportunity
             geo.revolution_s(), // write retry: full rotational realign
             24,
         )
@@ -222,8 +222,14 @@ mod tests {
         let (geo, t) = setup();
         let read_ms = t.sequential_op_s(&geo, 8, true) * 1e3;
         let write_ms = t.sequential_op_s(&geo, 8, false) * 1e3;
-        assert!((read_ms * 10.0).round() / 10.0 == 0.2, "read = {read_ms} ms");
-        assert!((write_ms * 10.0).round() / 10.0 == 0.2, "write = {write_ms} ms");
+        assert!(
+            (read_ms * 10.0).round() / 10.0 == 0.2,
+            "read = {read_ms} ms"
+        );
+        assert!(
+            (write_ms * 10.0).round() / 10.0 == 0.2,
+            "write = {write_ms} ms"
+        );
     }
 
     #[test]

@@ -191,12 +191,7 @@ impl ToleranceModel {
     /// off-track displacement of amplitude `offtrack_nm` stays inside the
     /// tolerance: 1 if the amplitude is within tolerance, otherwise
     /// `(2/π)·asin(tol/A)`.
-    pub fn on_track_duty(
-        &self,
-        track_pitch_nm: f64,
-        offtrack_nm: f64,
-        read: bool,
-    ) -> f64 {
+    pub fn on_track_duty(&self, track_pitch_nm: f64, offtrack_nm: f64, read: bool) -> f64 {
         assert!(
             offtrack_nm.is_finite() && offtrack_nm >= 0.0,
             "off-track amplitude must be finite and non-negative"
@@ -225,7 +220,11 @@ mod tests {
     fn acceleration_of_known_vibration() {
         // 1 µm at 5 kHz: ω = 31416 rad/s, a = ω²·1e-6 ≈ 987 m/s² ≈ 100 g.
         let v = VibrationState::new(Frequency::from_khz(5.0), 1.0);
-        assert!((v.acceleration_g() - 100.6).abs() < 1.0, "{}", v.acceleration_g());
+        assert!(
+            (v.acceleration_g() - 100.6).abs() < 1.0,
+            "{}",
+            v.acceleration_g()
+        );
     }
 
     #[test]

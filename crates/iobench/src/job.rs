@@ -100,7 +100,7 @@ impl JobSpec {
     /// Panics unless the size is a positive multiple of 512.
     pub fn with_block_size(mut self, bytes: usize) -> Self {
         assert!(
-            bytes > 0 && bytes % 512 == 0,
+            bytes > 0 && bytes.is_multiple_of(512),
             "block size must be a positive multiple of 512, got {bytes}"
         );
         self.block_size = bytes;
@@ -125,7 +125,7 @@ impl JobSpec {
     /// Panics unless the span is a positive multiple of the block size.
     pub fn with_span_bytes(mut self, bytes: u64) -> Self {
         assert!(
-            bytes > 0 && bytes % self.block_size as u64 == 0,
+            bytes > 0 && bytes.is_multiple_of(self.block_size as u64),
             "span must be a positive multiple of the block size"
         );
         self.span_bytes = bytes;
@@ -139,7 +139,7 @@ impl JobSpec {
     /// Panics unless aligned to the block size.
     pub fn with_start_offset_bytes(mut self, bytes: u64) -> Self {
         assert!(
-            bytes % self.block_size as u64 == 0,
+            bytes.is_multiple_of(self.block_size as u64),
             "offset must be block-aligned"
         );
         self.start_offset_bytes = bytes;

@@ -95,7 +95,10 @@ impl RawJob {
         let mut spec = JobSpec::new(self.name.clone(), pattern);
         if let Some(bs) = self.bs {
             if bs == 0 || bs % 512 != 0 || bs > usize::MAX as u64 {
-                return Err(err(line, format!("bs must be a positive multiple of 512, got {bs}")));
+                return Err(err(
+                    line,
+                    format!("bs must be a positive multiple of 512, got {bs}"),
+                ));
             }
             spec = spec.with_block_size(bs as usize);
         }
@@ -108,7 +111,10 @@ impl RawJob {
         if let Some(size) = self.size {
             let bs = spec.block_size() as u64;
             if size == 0 || size % bs != 0 {
-                return Err(err(line, format!("size must be a positive multiple of bs, got {size}")));
+                return Err(err(
+                    line,
+                    format!("size must be a positive multiple of bs, got {size}"),
+                ));
             }
             spec = spec.with_span_bytes(size);
         }
@@ -284,10 +290,7 @@ size=1g
     #[test]
     fn mixed_workload_with_ratio() {
         let jobs = parse_jobfile("[m]\nrw=rw\nrwmixread=70").unwrap();
-        assert_eq!(
-            jobs[0].pattern(),
-            AccessPattern::Mixed { read_percent: 70 }
-        );
+        assert_eq!(jobs[0].pattern(), AccessPattern::Mixed { read_percent: 70 });
     }
 
     #[test]
@@ -328,8 +331,7 @@ size=1g
         use crate::runner::run_job;
         use deepnote_blockdev::MemDisk;
         use deepnote_sim::Clock;
-        let jobs =
-            parse_jobfile("[quick]\nrw=write\nbs=4k\nruntime=1\nsize=1m").unwrap();
+        let jobs = parse_jobfile("[quick]\nrw=write\nbs=4k\nruntime=1\nsize=1m").unwrap();
         let clock = Clock::new();
         let mut disk = MemDisk::with_latency(
             1 << 16,

@@ -65,9 +65,7 @@ impl fmt::Display for JobReport {
             self.elapsed_s
         )?;
         match (self.mean_latency_ms, self.p99_latency_ms) {
-            (Some(mean), Some(p99)) => {
-                writeln!(f, "  lat (ms): mean={mean:.3}, p99={p99:.3}")?
-            }
+            (Some(mean), Some(p99)) => writeln!(f, "  lat (ms): mean={mean:.3}, p99={p99:.3}")?,
             _ => writeln!(f, "  lat (ms): - (no completions)")?,
         }
         write!(

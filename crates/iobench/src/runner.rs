@@ -159,22 +159,26 @@ mod tests {
     #[test]
     fn runtime_respected() {
         let clock = Clock::new();
-        let mut disk =
-            MemDisk::with_latency(1 << 16, clock.clone(), SimDuration::from_micros(50));
+        let mut disk = MemDisk::with_latency(1 << 16, clock.clone(), SimDuration::from_micros(50));
         let report = run_job(
-            &JobSpec::seq_write("t").with_runtime(SimDuration::from_secs(2)).with_span_bytes(1 << 20),
+            &JobSpec::seq_write("t")
+                .with_runtime(SimDuration::from_secs(2))
+                .with_span_bytes(1 << 20),
             &mut disk,
             &clock,
         );
-        assert!((report.elapsed_s - 2.0).abs() < 0.01, "{}", report.elapsed_s);
+        assert!(
+            (report.elapsed_s - 2.0).abs() < 0.01,
+            "{}",
+            report.elapsed_s
+        );
         assert_eq!(report.ops_completed, 40_000);
     }
 
     #[test]
     fn random_pattern_covers_span() {
         let clock = Clock::new();
-        let mut disk =
-            MemDisk::with_latency(1 << 16, clock.clone(), SimDuration::from_micros(10));
+        let mut disk = MemDisk::with_latency(1 << 16, clock.clone(), SimDuration::from_micros(10));
         let report = run_job(
             &JobSpec::new("r", AccessPattern::RandWrite)
                 .with_runtime(SimDuration::from_millis(500))
@@ -190,8 +194,7 @@ mod tests {
     #[test]
     fn mixed_pattern_reads_and_writes() {
         let clock = Clock::new();
-        let mut disk =
-            MemDisk::with_latency(1 << 16, clock.clone(), SimDuration::from_micros(10));
+        let mut disk = MemDisk::with_latency(1 << 16, clock.clone(), SimDuration::from_micros(10));
         let before_writes = disk.writes();
         run_job(
             &JobSpec::new("m", AccessPattern::Mixed { read_percent: 50 })

@@ -240,7 +240,10 @@ mod tests {
             });
         let report = read_while_writing(&mut db, &spec);
         let crashed_at = report.crashed_at_s.expect("must crash");
-        assert!((79.0..92.0).contains(&crashed_at), "crashed at {crashed_at}");
+        assert!(
+            (79.0..92.0).contains(&crashed_at),
+            "crashed at {crashed_at}"
+        );
         // Rates over the full window are a small fraction of healthy.
         assert!(report.throughput_mb_s < 2.0, "{report:?}");
     }

@@ -11,6 +11,9 @@ use deepnote_sim::{Clock, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// An owned key-value pair, as returned by [`Db::scan`].
+pub type KvPair = (Vec<u8>, Vec<u8>);
+
 const DB_DIR: &str = "/db";
 const WAL_PATH: &str = "/db/wal";
 const MANIFEST_PATH: &str = "/db/MANIFEST";
@@ -250,9 +253,7 @@ impl<D: BlockDevice> Db<D> {
         Ok(())
     }
 
-    fn read_manifest(
-        fs: &mut Filesystem<D>,
-    ) -> Result<(Vec<String>, Vec<String>, u64), DbError> {
+    fn read_manifest(fs: &mut Filesystem<D>) -> Result<(Vec<String>, Vec<String>, u64), DbError> {
         let size = fs.stat(MANIFEST_PATH)?.size;
         let raw = fs.read_file(MANIFEST_PATH, 0, size as usize)?;
         let text = String::from_utf8(raw).map_err(|_| DbError::Corruption {
@@ -360,7 +361,7 @@ impl<D: BlockDevice> Db<D> {
     /// # Errors
     ///
     /// [`DbError::Closed`] after a crash; I/O errors faulting tables in.
-    pub fn scan(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, DbError> {
+    pub fn scan(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<KvPair>, DbError> {
         self.check_alive()?;
         self.clock.advance(self.config.cpu_op_cost);
         let mut merged: std::collections::BTreeMap<Vec<u8>, Option<Vec<u8>>> =
@@ -449,9 +450,7 @@ impl<D: BlockDevice> Db<D> {
         }
         for path in self.level1.clone() {
             let t = self.table(&path)?;
-            if t.min_key().is_some_and(|mk| key >= mk)
-                && t.max_key().is_some_and(|mk| key <= mk)
-            {
+            if t.min_key().is_some_and(|mk| key >= mk) && t.max_key().is_some_and(|mk| key <= mk) {
                 if let Some(hit) = t.get(key) {
                     return Ok(hit.map(|v| v.to_vec()));
                 }
@@ -528,11 +527,9 @@ impl<D: BlockDevice> Db<D> {
         let run_refs: Vec<&[Record]> = runs.iter().map(|r| r.as_slice()).collect();
         // L1 is the bottom level: tombstones can be dropped.
         let merged = merge_runs(&run_refs, false);
-        self.stats.compaction_bytes +=
-            merged.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
+        self.stats.compaction_bytes += merged.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
 
-        let old_files: Vec<String> =
-            self.level0.drain(..).chain(self.level1.drain(..)).collect();
+        let old_files: Vec<String> = self.level0.drain(..).chain(self.level1.drain(..)).collect();
         let result: Result<(), DbError> = (|| {
             for chunk in split_into_files(merged) {
                 let path = format!("{DB_DIR}/sst_1_{}", self.next_file_no);
@@ -624,8 +621,7 @@ mod tests {
 
     #[test]
     fn flush_and_compaction_preserve_data() {
-        let mut db =
-            Db::create_with(MemDisk::new(1 << 18), Clock::new(), small_config()).unwrap();
+        let mut db = Db::create_with(MemDisk::new(1 << 18), Clock::new(), small_config()).unwrap();
         for i in 0..1_000 {
             db.put(&key(i), &val(i)).unwrap();
         }
@@ -638,8 +634,7 @@ mod tests {
 
     #[test]
     fn overwrites_and_deletes_survive_compaction() {
-        let mut db =
-            Db::create_with(MemDisk::new(1 << 18), Clock::new(), small_config()).unwrap();
+        let mut db = Db::create_with(MemDisk::new(1 << 18), Clock::new(), small_config()).unwrap();
         for i in 0..300 {
             db.put(&key(i), &val(i)).unwrap();
         }
@@ -665,8 +660,7 @@ mod tests {
     #[test]
     fn recovery_replays_wal_and_manifest() {
         let clock = Clock::new();
-        let mut db =
-            Db::create_with(MemDisk::new(1 << 18), clock.clone(), small_config()).unwrap();
+        let mut db = Db::create_with(MemDisk::new(1 << 18), clock.clone(), small_config()).unwrap();
         for i in 0..500 {
             db.put(&key(i), &val(i)).unwrap();
         }
@@ -682,8 +676,7 @@ mod tests {
     #[test]
     fn crash_recovery_without_close() {
         let clock = Clock::new();
-        let mut db =
-            Db::create_with(MemDisk::new(1 << 18), clock.clone(), small_config()).unwrap();
+        let mut db = Db::create_with(MemDisk::new(1 << 18), clock.clone(), small_config()).unwrap();
         for i in 0..100 {
             db.put(&key(i), &val(i)).unwrap();
         }
@@ -737,8 +730,7 @@ mod tests {
 
     #[test]
     fn stats_count_background_work() {
-        let mut db =
-            Db::create_with(MemDisk::new(1 << 18), Clock::new(), small_config()).unwrap();
+        let mut db = Db::create_with(MemDisk::new(1 << 18), Clock::new(), small_config()).unwrap();
         for i in 0..400 {
             db.put(&key(i), &val(i)).unwrap();
         }
@@ -750,10 +742,12 @@ mod tests {
     #[test]
     fn write_batch_is_atomic_across_crash_recovery() {
         let clock = Clock::new();
-        let mut db =
-            Db::create_with(MemDisk::new(1 << 18), clock.clone(), small_config()).unwrap();
+        let mut db = Db::create_with(MemDisk::new(1 << 18), clock.clone(), small_config()).unwrap();
         let mut batch = crate::WriteBatch::new();
-        batch.put(b"alice", b"90").put(b"bob", b"110").delete(b"pending");
+        batch
+            .put(b"alice", b"90")
+            .put(b"bob", b"110")
+            .delete(b"pending");
         db.put(b"pending", b"transfer").unwrap();
         db.write(batch).unwrap();
         db.sync_wal().unwrap();
@@ -780,8 +774,7 @@ mod tests {
 
     #[test]
     fn scan_merges_all_levels_newest_wins() {
-        let mut db =
-            Db::create_with(MemDisk::new(1 << 18), Clock::new(), small_config()).unwrap();
+        let mut db = Db::create_with(MemDisk::new(1 << 18), Clock::new(), small_config()).unwrap();
         // Enough keys to force flushes and a compaction.
         for i in 0..300 {
             db.put(&key(i), &val(i)).unwrap();
@@ -810,8 +803,7 @@ mod tests {
 
     #[test]
     fn write_amplification_accounted() {
-        let mut db =
-            Db::create_with(MemDisk::new(1 << 18), Clock::new(), small_config()).unwrap();
+        let mut db = Db::create_with(MemDisk::new(1 << 18), Clock::new(), small_config()).unwrap();
         assert_eq!(db.stats().write_amplification(), None);
         for i in 0..500 {
             db.put(&key(i), &val(i)).unwrap();
@@ -829,8 +821,7 @@ mod tests {
     #[test]
     fn tick_advances_journal() {
         let clock = Clock::new();
-        let mut db =
-            Db::create_with(MemDisk::new(1 << 18), clock.clone(), small_config()).unwrap();
+        let mut db = Db::create_with(MemDisk::new(1 << 18), clock.clone(), small_config()).unwrap();
         db.put(b"a", b"b").unwrap();
         clock.advance(SimDuration::from_secs(6));
         db.tick().unwrap();

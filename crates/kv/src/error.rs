@@ -74,6 +74,8 @@ mod tests {
 
     #[test]
     fn crash_message_matches_paper() {
-        assert!(DbError::WalSyncFailed.to_string().contains("sync_without_flush"));
+        assert!(DbError::WalSyncFailed
+            .to_string()
+            .contains("sync_without_flush"));
     }
 }

@@ -32,9 +32,7 @@ impl Memtable {
         self.approx_bytes += rec.encoded_len();
         if let Some(old) = self.entries.insert(rec.key, rec.value) {
             // Rough accounting: drop the replaced value's weight.
-            self.approx_bytes = self
-                .approx_bytes
-                .saturating_sub(old.map_or(0, |v| v.len()));
+            self.approx_bytes = self.approx_bytes.saturating_sub(old.map_or(0, |v| v.len()));
         }
     }
 

@@ -171,7 +171,11 @@ mod tests {
         let mut fs = Filesystem::format(MemDisk::new(1 << 17), clock.clone()).unwrap();
         fs.create("/db").unwrap();
         fs.create_file("/db/wal").unwrap();
-        (fs, Wal::new("/db/wal", 0, SimDuration::from_secs(81)), clock)
+        (
+            fs,
+            Wal::new("/db/wal", 0, SimDuration::from_secs(81)),
+            clock,
+        )
     }
 
     #[test]

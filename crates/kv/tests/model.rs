@@ -30,7 +30,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         any::<u8>().prop_map(Op::Delete),
         any::<u8>().prop_map(Op::Get),
         proptest::collection::vec(
-            (any::<u8>(), proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32))),
+            (
+                any::<u8>(),
+                proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32))
+            ),
             1..8
         )
         .prop_map(Op::Batch),
@@ -134,8 +137,7 @@ proptest! {
 #[test]
 fn regression_delete_survives_compaction_and_reopen() {
     let clock = Clock::new();
-    let mut db =
-        Db::create_with(MemDisk::new(1 << 19), clock.clone(), tight_config()).unwrap();
+    let mut db = Db::create_with(MemDisk::new(1 << 19), clock.clone(), tight_config()).unwrap();
     db.put(&key(1), b"v1").unwrap();
     db.flush().unwrap();
     db.delete(&key(1)).unwrap();

@@ -143,8 +143,16 @@ mod tests {
     fn logs_and_counts() {
         let mut log = KernelLog::new(10);
         log.log(SimTime::ZERO, LogLevel::Info, "booting");
-        log.log(SimTime::from_secs(1), LogLevel::Error, "Buffer I/O error on dev sda1, logical block 7");
-        log.log(SimTime::from_secs(2), LogLevel::Error, "Buffer I/O error on dev sda1, logical block 8");
+        log.log(
+            SimTime::from_secs(1),
+            LogLevel::Error,
+            "Buffer I/O error on dev sda1, logical block 7",
+        );
+        log.log(
+            SimTime::from_secs(2),
+            LogLevel::Error,
+            "Buffer I/O error on dev sda1, logical block 8",
+        );
         assert_eq!(log.len(), 3);
         assert_eq!(log.count_containing("Buffer I/O error"), 2);
         assert_eq!(
@@ -168,9 +176,16 @@ mod tests {
     #[test]
     fn dmesg_format() {
         let mut log = KernelLog::new(4);
-        log.log(SimTime::from_secs(81), LogLevel::Critical, "EXT4-fs error: journal has aborted");
+        log.log(
+            SimTime::from_secs(81),
+            LogLevel::Critical,
+            "EXT4-fs error: journal has aborted",
+        );
         let text = log.dmesg();
-        assert!(text.contains("[   81.000000] <crit> EXT4-fs error"), "{text}");
+        assert!(
+            text.contains("[   81.000000] <crit> EXT4-fs error"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -95,8 +95,7 @@ impl<D: BlockDevice> ServerOs<D> {
     ///
     /// [`OsError::Setup`] if the filesystem cannot be created.
     pub fn install(dev: D, clock: Clock) -> Result<Self, OsError> {
-        let mut fs =
-            Filesystem::format(dev, clock.clone()).map_err(|fs| OsError::Setup { fs })?;
+        let mut fs = Filesystem::format(dev, clock.clone()).map_err(|fs| OsError::Setup { fs })?;
         let setup = |fs: &mut Filesystem<D>| -> Result<(), FsError> {
             fs.create("/bin")?;
             for cmd in INSTALLED_COMMANDS {
@@ -119,12 +118,28 @@ impl<D: BlockDevice> ServerOs<D> {
         // metadata can be evicted and must be re-read from the device.
         fs.set_cache_limit(Some(96));
         let mut services = ServiceManager::new();
-        services.register("sshd.service", "sshd", RestartPolicy::OnFailure { max_restarts: 5 });
-        services.register("cron.service", "ps", RestartPolicy::OnFailure { max_restarts: 5 });
-        services.register("syslogd.service", "cat", RestartPolicy::OnFailure { max_restarts: 5 });
+        services.register(
+            "sshd.service",
+            "sshd",
+            RestartPolicy::OnFailure { max_restarts: 5 },
+        );
+        services.register(
+            "cron.service",
+            "ps",
+            RestartPolicy::OnFailure { max_restarts: 5 },
+        );
+        services.register(
+            "syslogd.service",
+            "cat",
+            RestartPolicy::OnFailure { max_restarts: 5 },
+        );
         let now = clock.now();
         let mut klog = KernelLog::new(4_096);
-        klog.log(now, LogLevel::Info, "Ubuntu 16.04 LTS deepnote-server boot complete");
+        klog.log(
+            now,
+            LogLevel::Info,
+            "Ubuntu 16.04 LTS deepnote-server boot complete",
+        );
         Ok(ServerOs {
             fs,
             clock,
@@ -290,7 +305,10 @@ impl<D: BlockDevice> ServerOs<D> {
             let (level, text) = match event {
                 SupervisionEvent::WorkFailed(i) => (
                     LogLevel::Error,
-                    format!("systemd[1]: {}: main process exited with I/O error", manager.services()[i].name),
+                    format!(
+                        "systemd[1]: {}: main process exited with I/O error",
+                        manager.services()[i].name
+                    ),
                 ),
                 SupervisionEvent::Restarted(i) => (
                     LogLevel::Warning,
@@ -298,7 +316,10 @@ impl<D: BlockDevice> ServerOs<D> {
                 ),
                 SupervisionEvent::GaveUp(i) => (
                     LogLevel::Critical,
-                    format!("systemd[1]: {}: start request repeated too quickly, giving up", manager.services()[i].name),
+                    format!(
+                        "systemd[1]: {}: start request repeated too quickly, giving up",
+                        manager.services()[i].name
+                    ),
                 ),
             };
             self.klog.log(self.clock.now(), level, text);
@@ -352,9 +373,7 @@ impl<D: BlockDevice> ServerOs<D> {
             self.klog.log(
                 self.clock.now(),
                 LogLevel::Error,
-                format!(
-                    "Buffer I/O error on dev sda1, lost async page write ({new} pages)"
-                ),
+                format!("Buffer I/O error on dev sda1, lost async page write ({new} pages)"),
             );
         }
         if let Err(FsError::JournalAborted { errno }) = tick_result {
@@ -412,7 +431,10 @@ mod tests {
             .read_file("/var/log/syslog", 0, 4_096)
             .unwrap();
         let text = String::from_utf8(content).unwrap();
-        assert!(text.contains("service started\nrequest handled\n"), "{text}");
+        assert!(
+            text.contains("service started\nrequest handled\n"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -483,10 +505,12 @@ mod tests {
         };
         let (fs2, _) = deepnote_fs::Filesystem::mount(dev, clock.clone()).unwrap();
         *os.filesystem_mut() = fs2;
-        os.filesystem_mut().device_mut().set_plan(FaultPlan::FailFrom {
-            start: 0,
-            error: IoError::NoResponse,
-        });
+        os.filesystem_mut()
+            .device_mut()
+            .set_plan(FaultPlan::FailFrom {
+                start: 0,
+                error: IoError::NoResponse,
+            });
         let err = os.exec("ls").unwrap_err();
         assert!(matches!(err, OsError::InputOutput { .. }), "{err:?}");
         assert_eq!(os.klog().count_containing("Input/output error"), 1);
@@ -513,10 +537,12 @@ mod tests {
         assert_eq!(os.services().census(), (3, 0, 0), "{:?}", os.services());
 
         // The attack: all I/O (reads included — cold binary reloads) dies.
-        os.filesystem_mut().device_mut().set_plan(FaultPlan::FailFrom {
-            start: 0,
-            error: IoError::NoResponse,
-        });
+        os.filesystem_mut()
+            .device_mut()
+            .set_plan(FaultPlan::FailFrom {
+                start: 0,
+                error: IoError::NoResponse,
+            });
         let mut dead_seen = 0;
         for _ in 0..40 {
             let _ = os.write_log("under attack");

@@ -124,10 +124,7 @@ impl ServiceManager {
     /// Runs one supervision round. `exec` attempts a unit of work (or a
     /// restart) for a command and reports success. Returns the events
     /// that occurred, in service order.
-    pub fn supervise(
-        &mut self,
-        mut exec: impl FnMut(&str) -> bool,
-    ) -> Vec<SupervisionEvent> {
+    pub fn supervise(&mut self, mut exec: impl FnMut(&str) -> bool) -> Vec<SupervisionEvent> {
         let mut events = Vec::new();
         for i in 0..self.services.len() {
             let (state, command, policy, restarts) = {
@@ -177,7 +174,11 @@ mod tests {
 
     fn manager() -> ServiceManager {
         let mut m = ServiceManager::new();
-        m.register("sshd.service", "sshd", RestartPolicy::OnFailure { max_restarts: 3 });
+        m.register(
+            "sshd.service",
+            "sshd",
+            RestartPolicy::OnFailure { max_restarts: 3 },
+        );
         m.register("cron.service", "ps", RestartPolicy::Never);
         m
     }
@@ -201,7 +202,10 @@ mod tests {
         });
         assert_eq!(m.census(), (1, 1, 0)); // sshd failed, cron ran (second exec ok)
         let events = m.supervise(|_| true);
-        assert!(events.contains(&SupervisionEvent::Restarted(0)), "{events:?}");
+        assert!(
+            events.contains(&SupervisionEvent::Restarted(0)),
+            "{events:?}"
+        );
         assert_eq!(m.census(), (2, 0, 0));
         assert_eq!(m.service("sshd.service").unwrap().restarts, 1);
     }

@@ -128,9 +128,6 @@ mod tests {
             c.elapsed_since(SimTime::from_secs(40)),
             SimDuration::from_secs(60)
         );
-        assert_eq!(
-            c.elapsed_since(SimTime::from_secs(400)),
-            SimDuration::ZERO
-        );
+        assert_eq!(c.elapsed_since(SimTime::from_secs(400)), SimDuration::ZERO);
     }
 }

@@ -212,7 +212,7 @@ impl<'a> EventQueue<'a> {
             fired += 1;
             if let Repeat::Every(period) = ev.repeat {
                 if !ctx.cancel_self {
-                    ev.at = ev.at + period;
+                    ev.at += period;
                     ev.seq = self.next_seq;
                     self.next_seq += 1;
                     self.heap.push(Reverse(ev));
@@ -251,10 +251,7 @@ mod tests {
         assert_eq!(fired, 2);
         assert_eq!(
             log.into_inner(),
-            vec![
-                (1, SimTime::from_secs(1)),
-                (2, SimTime::from_secs(2))
-            ]
+            vec![(1, SimTime::from_secs(1)), (2, SimTime::from_secs(2))]
         );
         assert_eq!(clock.now(), SimTime::from_secs(3));
     }

@@ -185,7 +185,10 @@ impl Histogram {
     ///
     /// Panics if `x` is NaN or negative.
     pub fn record(&mut self, x: f64) {
-        assert!(x.is_finite() && x >= 0.0, "histogram sample must be finite and >= 0");
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "histogram sample must be finite and >= 0"
+        );
         self.total += 1;
         self.stats.record(x);
         match self.bucket_of(x) {
@@ -229,8 +232,8 @@ impl Histogram {
             seen += c;
             if seen >= rank {
                 // Upper edge of bucket i.
-                let edge = self.min_value
-                    * 10f64.powf((i as f64 + 1.0) / self.buckets_per_decade as f64);
+                let edge =
+                    self.min_value * 10f64.powf((i as f64 + 1.0) / self.buckets_per_decade as f64);
                 return Some(edge);
             }
         }
@@ -243,7 +246,10 @@ impl Histogram {
     ///
     /// Panics if geometries differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.min_value, other.min_value, "histogram geometry mismatch");
+        assert_eq!(
+            self.min_value, other.min_value,
+            "histogram geometry mismatch"
+        );
         assert_eq!(
             self.counts.len(),
             other.counts.len(),

@@ -368,10 +368,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
-        assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1_000)
-        );
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
     }
 
@@ -414,10 +411,7 @@ mod tests {
         assert_eq!(later.duration_since(t).as_millis(), 500);
         assert_eq!(later - t, SimDuration::from_millis(500));
         assert_eq!(later - SimDuration::from_millis(500), t);
-        assert_eq!(
-            t.saturating_duration_since(later),
-            SimDuration::ZERO
-        );
+        assert_eq!(t.saturating_duration_since(later), SimDuration::ZERO);
     }
 
     #[test]
@@ -445,8 +439,12 @@ mod tests {
 
     #[test]
     fn checked_ops_catch_overflow() {
-        assert!(SimDuration::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimDuration::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert!(SimTime::ZERO
             .checked_add(SimDuration::from_secs(1))
             .is_some());

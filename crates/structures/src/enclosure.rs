@@ -155,13 +155,15 @@ mod tests {
     fn acoustic_tl_dominated_by_interface_at_low_f() {
         let water = Medium::Water(WaterConditions::tank_freshwater());
         let encl = Enclosure::paper_plastic();
-        let tl = encl.acoustic_transmission_loss_db(Frequency::from_hz(650.0), water.impedance_rayl());
+        let tl =
+            encl.acoustic_transmission_loss_db(Frequency::from_hz(650.0), water.impedance_rayl());
         // Water→air interface alone is ~66 dB of pressure loss... the wall
         // adds almost nothing at 650 Hz. Yet the *structural* path has no
         // such barrier — the point of the paper.
         assert!(tl > 50.0, "tl = {tl}");
         let mass_only = {
-            let x = std::f64::consts::PI * 650.0 * encl.surface_mass_kg_m2() / water.impedance_rayl();
+            let x =
+                std::f64::consts::PI * 650.0 * encl.surface_mass_kg_m2() / water.impedance_rayl();
             (1.0 + x * x).log10() * 10.0
         };
         assert!(mass_only < 0.1, "mass_only = {mass_only}");

@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn liner_is_lossy() {
-        assert!(Material::polymer_liner().damping_ratio() > 5.0 * Material::hard_plastic().damping_ratio());
+        assert!(
+            Material::polymer_liner().damping_ratio()
+                > 5.0 * Material::hard_plastic().damping_ratio()
+        );
     }
 
     #[test]

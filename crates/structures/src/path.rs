@@ -171,9 +171,7 @@ mod tests {
         let damped = path.clone().with_mount(path.mount().with_dampers(0.9));
         let f = Frequency::from_hz(650.0);
         let spl = Spl::water_db(140.0);
-        assert!(
-            damped.drive_displacement_um(f, spl) < 0.2 * path.drive_displacement_um(f, spl)
-        );
+        assert!(damped.drive_displacement_um(f, spl) < 0.2 * path.drive_displacement_um(f, spl));
     }
 
     #[test]
@@ -182,8 +180,7 @@ mod tests {
         let lined = path.clone().with_structure_scaled(0.1);
         let f = Frequency::from_hz(650.0);
         let spl = Spl::water_db(140.0);
-        let ratio =
-            lined.drive_displacement_um(f, spl) / path.drive_displacement_um(f, spl);
+        let ratio = lined.drive_displacement_um(f, spl) / path.drive_displacement_um(f, spl);
         assert!((ratio - 0.1).abs() < 1e-9);
     }
 
@@ -198,10 +195,7 @@ mod tests {
         );
         let f = Frequency::from_hz(650.0);
         let spl = Spl::water_db(140.0);
-        assert!(
-            steel.drive_displacement_um(f, spl)
-                < 0.05 * plastic.drive_displacement_um(f, spl)
-        );
+        assert!(steel.drive_displacement_um(f, spl) < 0.05 * plastic.drive_displacement_um(f, spl));
     }
 
     proptest! {

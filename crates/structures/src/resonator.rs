@@ -179,7 +179,7 @@ impl ResonatorBank {
         let mut hz = lo.hz();
         while hz <= hi.hz() {
             let resp = self.response(Frequency::from_hz(hz));
-            if best.map_or(true, |(_, b)| resp > b) {
+            if best.is_none_or(|(_, b)| resp > b) {
                 best = Some((hz, resp));
             }
             hz += step_hz;

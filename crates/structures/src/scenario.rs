@@ -118,8 +118,12 @@ mod tests {
     fn tower_scenarios_respond_more_than_direct_at_mid_band() {
         let spl = Spl::water_db(140.0);
         let f = Frequency::from_hz(700.0);
-        let s1 = Scenario::PlasticDirect.vibration_path().drive_displacement_um(f, spl);
-        let s2 = Scenario::PlasticTower.vibration_path().drive_displacement_um(f, spl);
+        let s1 = Scenario::PlasticDirect
+            .vibration_path()
+            .drive_displacement_um(f, spl);
+        let s2 = Scenario::PlasticTower
+            .vibration_path()
+            .drive_displacement_um(f, spl);
         assert!(s2 > s1, "s2 = {s2}, s1 = {s1}");
     }
 

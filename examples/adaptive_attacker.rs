@@ -17,12 +17,8 @@ fn main() {
         testbed.scenario()
     );
 
-    let discovery = adaptive::remote_frequency_discovery(
-        &testbed,
-        Distance::from_cm(1.0),
-        &plan,
-        6,
-    );
+    let discovery =
+        adaptive::remote_frequency_discovery(&testbed, Distance::from_cm(1.0), &plan, 6);
 
     println!(
         "healthy baseline: {:.2} ms per request",

@@ -1,0 +1,25 @@
+//! The service-level question: does a replicated KV cluster built on
+//! attackable drives keep answering during a Deep Note campaign?
+//!
+//! Runs the same baseline → sweep → 650 Hz attack → recovery timeline
+//! against two placements of the same nine-node, three-rack cluster:
+//! replicas co-located in one rack (sharing the blast radius) versus
+//! separated across acoustic fault domains.
+//!
+//! Run with: `cargo run --release -p deepnote-cluster --example cluster_attack`
+
+use deepnote_cluster::prelude::*;
+use deepnote_sim::SimDuration;
+
+fn main() {
+    let attack = SimDuration::from_secs(90);
+    let configs = vec![
+        CampaignConfig::paper_duel(PlacementPolicy::Separated, attack),
+        CampaignConfig::paper_duel(PlacementPolicy::CoLocated, attack),
+    ];
+    let mut reports = Vec::new();
+    for result in run_matrix(configs) {
+        reports.push(result.expect("campaign run"));
+    }
+    print!("{}", render_duel(&reports));
+}

@@ -10,12 +10,7 @@ fn main() {
     let testbed = Testbed::paper_default(Scenario::PlasticTower);
     // Ten drives, 4 cm apart, nearest 1 cm from the source (a dense
     // JBOD-style column).
-    let fleet = Fleet::new(
-        testbed,
-        Distance::from_cm(1.0),
-        Distance::from_cm(4.0),
-        10,
-    );
+    let fleet = Fleet::new(testbed, Distance::from_cm(1.0), Distance::from_cm(4.0), 10);
 
     for &hz in &[650.0, 300.0, 1_300.0, 5_000.0] {
         let params = AttackParams::paper_best().at_frequency(Frequency::from_hz(hz));

@@ -22,8 +22,8 @@ fn main() {
     let baseline = &outcomes[0];
     for o in &outcomes[1..] {
         let gain = o.write_mb_s_at_paper_point - baseline.write_mb_s_at_paper_point;
-        let reach_drop = baseline.blackout_reach_cm.unwrap_or(0.0)
-            - o.blackout_reach_cm.unwrap_or(0.0);
+        let reach_drop =
+            baseline.blackout_reach_cm.unwrap_or(0.0) - o.blackout_reach_cm.unwrap_or(0.0);
         println!(
             "  {}: +{gain:.1} MB/s at the paper point, blackout reach shrinks {reach_drop:.0} cm, costs +{:.1} °C",
             o.label, o.cooling_penalty_c

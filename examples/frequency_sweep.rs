@@ -11,7 +11,11 @@ fn main() {
     let plan = SweepPlan::paper_sweep();
     let distance = Distance::from_cm(1.0);
 
-    println!("sweeping {} .. {} (paper §4.1 methodology)\n", plan.start(), plan.end());
+    println!(
+        "sweeping {} .. {} (paper §4.1 methodology)\n",
+        plan.start(),
+        plan.end()
+    );
     let sweeps = frequency::figure2(distance, &plan);
     print!("{}", report::render_figure2(&sweeps));
 
@@ -19,8 +23,7 @@ fn main() {
     println!("\ncross-validation (closed-form vs measured):");
     for &hz in &[650.0, 5_000.0] {
         let f = Frequency::from_hz(hz);
-        let (meas_r, meas_w) =
-            frequency::measure_point(Scenario::PlasticTower, f, distance, 3);
+        let (meas_r, meas_w) = frequency::measure_point(Scenario::PlasticTower, f, distance, 3);
         let sweep = &sweeps[1]; // Scenario 2
         let model_w = sweep.write.nearest_y(hz).unwrap();
         let model_r = sweep.read.nearest_y(hz).unwrap();

@@ -30,8 +30,16 @@ fn main() {
         &clock,
     );
     println!("\nno attack:");
-    println!("  read : {:.1} MB/s (lat {})", read.throughput_mb_s, read.latency_cell());
-    println!("  write: {:.1} MB/s (lat {})", write.throughput_mb_s, write.latency_cell());
+    println!(
+        "  read : {:.1} MB/s (lat {})",
+        read.throughput_mb_s,
+        read.latency_cell()
+    );
+    println!(
+        "  write: {:.1} MB/s (lat {})",
+        write.throughput_mb_s,
+        write.latency_cell()
+    );
 
     // The attack: 650 Hz at 140 dB re 1 µPa, speaker 1 cm from the
     // container.
@@ -55,8 +63,16 @@ fn main() {
         &mut disk,
         &clock,
     );
-    println!("  read : {:.1} MB/s (lat {})", read.throughput_mb_s, read.latency_cell());
-    println!("  write: {:.1} MB/s (lat {})", write.throughput_mb_s, write.latency_cell());
+    println!(
+        "  read : {:.1} MB/s (lat {})",
+        read.throughput_mb_s,
+        read.latency_cell()
+    );
+    println!(
+        "  write: {:.1} MB/s (lat {})",
+        write.throughput_mb_s,
+        write.latency_cell()
+    );
 
     // Stop the attack: the drive comes back.
     testbed.stop_attack(&vibration);
@@ -66,5 +82,9 @@ fn main() {
         &clock,
     );
     println!("\nattack stopped:");
-    println!("  write: {:.1} MB/s (lat {})", write.throughput_mb_s, write.latency_cell());
+    println!(
+        "  write: {:.1} MB/s (lat {})",
+        write.throughput_mb_s,
+        write.latency_cell()
+    );
 }

@@ -76,8 +76,8 @@ fn os_and_db_both_die_under_sustained_attack_and_survive_without() {
     // Without attack: both live through 120 virtual seconds.
     {
         let clock = Clock::new();
-        let mut os = ServerOs::install(HddDisk::barracuda_500gb(clock.clone()), clock.clone())
-            .unwrap();
+        let mut os =
+            ServerOs::install(HddDisk::barracuda_500gb(clock.clone()), clock.clone()).unwrap();
         for _ in 0..120 {
             os.write_log("tick").unwrap();
             clock.advance(SimDuration::from_secs(1));

@@ -37,7 +37,10 @@ fn journal_record_is_one_contiguous_write() {
     assert_eq!(journal_write.error, None);
     // And it lands in the journal region (fs blocks 1..1025).
     let fs_block = journal_write.lba / SECTORS_PER_FS_BLOCK;
-    assert!((1..1025).contains(&fs_block), "journal write at fs block {fs_block}");
+    assert!(
+        (1..1025).contains(&fs_block),
+        "journal write at fs block {fs_block}"
+    );
 }
 
 #[test]
@@ -69,8 +72,11 @@ fn wal_append_traffic_is_append_only() {
     for round in 0..3u32 {
         db.filesystem_mut().device_mut().clear();
         for i in 0..200u32 {
-            db.put(format!("r{round}-key{i:06}").as_bytes(), b"value-payload-xx")
-                .unwrap();
+            db.put(
+                format!("r{round}-key{i:06}").as_bytes(),
+                b"value-payload-xx",
+            )
+            .unwrap();
         }
         db.sync_wal().unwrap();
         let first_data_write = db
@@ -78,9 +84,7 @@ fn wal_append_traffic_is_append_only() {
             .device_mut()
             .trace()
             .into_iter()
-            .find(|e| {
-                e.kind == TraceKind::Write && e.lba / SECTORS_PER_FS_BLOCK >= 1_090
-            })
+            .find(|e| e.kind == TraceKind::Write && e.lba / SECTORS_PER_FS_BLOCK >= 1_090)
             .expect("a WAL data write must occur");
         wal_write_starts.push(first_data_write.lba);
     }

@@ -26,12 +26,14 @@ fn committed_data_survives_an_attack_crash() {
 
     fs.create("/srv").unwrap();
     fs.create_file("/srv/durable").unwrap();
-    fs.write_file("/srv/durable", 0, b"committed before attack").unwrap();
+    fs.write_file("/srv/durable", 0, b"committed before attack")
+        .unwrap();
     fs.commit().unwrap();
 
     // Attack; buffered write is lost with the abort.
     testbed.mount_attack(&vibration, AttackParams::paper_best());
-    fs.write_file("/srv/durable", 0, b"dirty, never committed!!").unwrap();
+    fs.write_file("/srv/durable", 0, b"dirty, never committed!!")
+        .unwrap();
     assert!(fs.commit().is_err());
     assert!(matches!(fs.state(), FsState::Aborted { .. }));
     testbed.stop_attack(&vibration);
@@ -53,8 +55,11 @@ fn database_reopens_consistently_after_attack_crash() {
     let mut db = Db::create(disk, clock.clone()).unwrap();
 
     for i in 0..500u32 {
-        db.put(format!("key{i:05}").as_bytes(), format!("value{i}").as_bytes())
-            .unwrap();
+        db.put(
+            format!("key{i:05}").as_bytes(),
+            format!("value{i}").as_bytes(),
+        )
+        .unwrap();
     }
     db.sync_wal().unwrap();
 
@@ -128,10 +133,18 @@ fn memdisk_and_hdd_agree_on_fs_semantics() {
             fn num_blocks(&self) -> u64 {
                 self.0.num_blocks()
             }
-            fn read_blocks(&mut self, lba: u64, buf: &mut [u8]) -> Result<(), deepnote_blockdev::IoError> {
+            fn read_blocks(
+                &mut self,
+                lba: u64,
+                buf: &mut [u8],
+            ) -> Result<(), deepnote_blockdev::IoError> {
                 self.0.read_blocks(lba, buf)
             }
-            fn write_blocks(&mut self, lba: u64, buf: &[u8]) -> Result<(), deepnote_blockdev::IoError> {
+            fn write_blocks(
+                &mut self,
+                lba: u64,
+                buf: &[u8],
+            ) -> Result<(), deepnote_blockdev::IoError> {
                 self.0.write_blocks(lba, buf)
             }
             fn flush(&mut self) -> Result<(), deepnote_blockdev::IoError> {
@@ -142,7 +155,8 @@ fn memdisk_and_hdd_agree_on_fs_semantics() {
         let mut fs = Filesystem::format(BoxedDev(dev), clock).unwrap();
         fs.create("/a").unwrap();
         fs.create_file("/a/f").unwrap();
-        fs.write_file("/a/f", 0, b"same bytes on any device").unwrap();
+        fs.write_file("/a/f", 0, b"same bytes on any device")
+            .unwrap();
         fs.write_file("/a/f", 10, b"OVERWRITE").unwrap();
         fs.commit().unwrap();
         fs.read_file("/a/f", 0, 64).unwrap()

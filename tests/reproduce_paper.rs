@@ -96,7 +96,11 @@ fn table3_values() {
     // Error signatures.
     assert!(rows[0].error.contains("JBD error -5"), "{}", rows[0].error);
     assert!(rows[1].error.contains("-5"), "{}", rows[1].error);
-    assert!(rows[2].error.contains("sync_without_flush"), "{}", rows[2].error);
+    assert!(
+        rows[2].error.contains("sync_without_flush"),
+        "{}",
+        rows[2].error
+    );
 }
 
 #[test]
@@ -108,7 +112,11 @@ fn figure2_bands() {
         // Paper: "throughput losses occur in all three scenarios at the
         // frequency range between 300 Hz to 1.7 kHz".
         let (lo, hi) = sweep.write_dead_band(1.0).expect("dead band exists");
-        assert!(lo >= 100.0 && lo <= 450.0, "{}: band starts {lo}", sweep.scenario);
+        assert!(
+            (100.0..=450.0).contains(&lo),
+            "{}: band starts {lo}",
+            sweep.scenario
+        );
         assert!(hi <= 1_800.0, "{}: band ends {hi}", sweep.scenario);
 
         // Paper: "major throughput degradation during write operations
@@ -126,8 +134,14 @@ fn figure2_bands() {
     let s3 = &sweeps[2];
     let (_, w_hi) = s3.write_dead_band(1.0).unwrap();
     let (_, r_hi) = s3.read_dead_band(1.0).unwrap();
-    assert!((1_000.0..1_500.0).contains(&w_hi), "S3 write band ends {w_hi}");
-    assert!(r_hi < w_hi, "S3 read band ({r_hi}) must end below write band ({w_hi})");
+    assert!(
+        (1_000.0..1_500.0).contains(&w_hi),
+        "S3 write band ends {w_hi}"
+    );
+    assert!(
+        r_hi < w_hi,
+        "S3 read band ({r_hi}) must end below write band ({w_hi})"
+    );
 }
 
 #[test]

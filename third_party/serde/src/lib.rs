@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and
+//! macro namespaces. The derive macros (re-exported from the local
+//! `serde_derive` shim) expand to nothing, and the traits are empty
+//! markers — sufficient for a workspace that only *declares*
+//! serializability.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

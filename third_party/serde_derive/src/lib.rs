@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Nothing in the workspace actually serializes values yet — the derives
+//! exist so that types can declare `#[derive(Serialize, Deserialize)]`
+//! (and carry `#[serde(...)]` attributes) without pulling the real serde
+//! stack into an offline build. Both macros expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
