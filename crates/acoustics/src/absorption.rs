@@ -59,6 +59,7 @@ pub fn absorption_db_per_km(f: Frequency, w: &WaterConditions) -> f64 {
 
     // In fresh water the chemical terms are scaled away by s/35 (MgSO4)
     // and sqrt(s/35) (boric); at s = 0 only the viscous term remains.
+    // deepnote-lint: allow(float-eq): Salinity::FRESH is exactly 0.0, an uncalculated sentinel
     let boric = if s == 0.0 { 0.0 } else { boric };
     boric + mgso4 + water
 }

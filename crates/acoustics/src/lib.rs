@@ -52,7 +52,7 @@ pub use propagation::{
 pub use source::{AcousticEmission, Amplifier, SignalChain, SineSource, Speaker};
 pub use spl::{Spl, SplReference};
 pub use sweep::{SweepPlan, SweepStep};
-pub use units::{Celsius, Depth, Distance, Frequency, Salinity};
+pub use units::{Celsius, Depth, Distance, Frequency, Gain, Salinity};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -68,5 +68,5 @@ pub mod prelude {
     pub use crate::source::{AcousticEmission, Amplifier, SignalChain, SineSource, Speaker};
     pub use crate::spl::{Spl, SplReference};
     pub use crate::sweep::{SweepPlan, SweepStep};
-    pub use crate::units::{Celsius, Depth, Distance, Frequency, Salinity};
+    pub use crate::units::{Celsius, Depth, Distance, Frequency, Gain, Salinity};
 }

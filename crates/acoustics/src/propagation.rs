@@ -19,7 +19,7 @@ use crate::absorption::absorption_loss_db;
 use crate::medium::WaterConditions;
 use crate::source::AcousticEmission;
 use crate::spl::Spl;
-use crate::units::{Distance, Frequency};
+use crate::units::{Depth, Distance, Frequency};
 use serde::{Deserialize, Serialize};
 
 /// Geometric spreading law.
@@ -123,10 +123,12 @@ pub fn received_spl_with(
 pub fn lloyd_mirror_factor(
     f: Frequency,
     water: &WaterConditions,
-    horizontal_range_m: f64,
-    source_depth_m: f64,
-    target_depth_m: f64,
+    horizontal_range: Distance,
+    source_depth: Depth,
+    target_depth: Depth,
 ) -> f64 {
+    let (horizontal_range_m, source_depth_m, target_depth_m) =
+        (horizontal_range.m(), source_depth.m(), target_depth.m());
     assert!(
         horizontal_range_m > 0.0 && source_depth_m > 0.0 && target_depth_m > 0.0,
         "range and depths must be positive"
@@ -151,18 +153,19 @@ pub fn lloyd_mirror_factor(
 pub fn received_spl_lloyd(
     emission: &AcousticEmission,
     water: &WaterConditions,
-    horizontal_range_m: f64,
-    source_depth_m: f64,
-    target_depth_m: f64,
+    horizontal_range: Distance,
+    source_depth: Depth,
+    target_depth: Depth,
 ) -> Spl {
-    let dz = source_depth_m - target_depth_m;
-    let slant = Distance::from_m((horizontal_range_m * horizontal_range_m + dz * dz).sqrt());
+    let r_m = horizontal_range.m();
+    let dz = source_depth.m() - target_depth.m();
+    let slant = Distance::from_m((r_m * r_m + dz * dz).sqrt());
     let factor = lloyd_mirror_factor(
         emission.frequency,
         water,
-        horizontal_range_m,
-        source_depth_m,
-        target_depth_m,
+        horizontal_range,
+        source_depth,
+        target_depth,
     );
     received_spl_with(emission, slant, water, PropagationModel::Spherical)
         .plus_db(20.0 * factor.max(1e-9).log10())
@@ -314,8 +317,20 @@ mod tests {
         let f = Frequency::from_hz(650.0);
         // Shallow source (2 m) vs deep source (30 m), target at 36 m,
         // 10 km out: the shallow source is deep in cancellation.
-        let shallow = lloyd_mirror_factor(f, &w, 10_000.0, 2.0, 36.0);
-        let deep = lloyd_mirror_factor(f, &w, 10_000.0, 30.0, 36.0);
+        let shallow = lloyd_mirror_factor(
+            f,
+            &w,
+            Distance::from_km(10.0),
+            Depth::from_m(2.0),
+            Depth::from_m(36.0),
+        );
+        let deep = lloyd_mirror_factor(
+            f,
+            &w,
+            Distance::from_km(10.0),
+            Depth::from_m(30.0),
+            Depth::from_m(36.0),
+        );
         assert!(shallow < 0.15, "shallow factor = {shallow}");
         assert!(deep > 2.0 * shallow, "deep {deep} vs shallow {shallow}");
     }
@@ -330,7 +345,13 @@ mod tests {
         let mut max: f64 = 0.0;
         let mut r = 50.0;
         while r < 500.0 {
-            let v = lloyd_mirror_factor(f, &w, r, 10.0, 36.0);
+            let v = lloyd_mirror_factor(
+                f,
+                &w,
+                Distance::from_m(r),
+                Depth::from_m(10.0),
+                Depth::from_m(36.0),
+            );
             min = min.min(v);
             max = max.max(v);
             r += 0.5;
@@ -353,7 +374,13 @@ mod tests {
             &w,
             PropagationModel::Spherical,
         );
-        let mirrored = received_spl_lloyd(&e, &w, 10_000.0, 2.0, 36.0);
+        let mirrored = received_spl_lloyd(
+            &e,
+            &w,
+            Distance::from_km(10.0),
+            Depth::from_m(2.0),
+            Depth::from_m(36.0),
+        );
         assert!(
             mirrored.db() < free.db() - 10.0,
             "mirrored {mirrored} vs free {free}"
@@ -365,7 +392,7 @@ mod tests {
         #[test]
         fn lloyd_factor_bounded(r in 10.0f64..50_000.0, zs in 1.0f64..100.0, zt in 1.0f64..100.0, khz in 0.1f64..10.0) {
             let w = WaterConditions::natick_seawater();
-            let v = lloyd_mirror_factor(Frequency::from_khz(khz), &w, r, zs, zt);
+            let v = lloyd_mirror_factor(Frequency::from_khz(khz), &w, Distance::from_m(r), Depth::from_m(zs), Depth::from_m(zt));
             prop_assert!((0.0..=2.0 + 1e-6).contains(&v), "factor = {}", v);
         }
 

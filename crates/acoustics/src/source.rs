@@ -7,7 +7,7 @@
 //! into the water, including the speaker's band limits.
 
 use crate::spl::Spl;
-use crate::units::{Distance, Frequency};
+use crate::units::{Distance, Frequency, Gain};
 use serde::{Deserialize, Serialize};
 
 /// A pure sine-wave source (what GNU Radio generates in the paper).
@@ -69,15 +69,16 @@ pub struct Amplifier {
 }
 
 impl Amplifier {
-    /// Creates an amplifier.
+    /// Creates an amplifier with the given gain, clipping at
+    /// `max_output_db` (dB relative to chain full scale).
     ///
     /// # Panics
     ///
-    /// Panics if either parameter is non-finite.
-    pub fn new(gain_db: f64, max_output_db: f64) -> Self {
-        assert!(gain_db.is_finite() && max_output_db.is_finite());
+    /// Panics if `max_output_db` is non-finite.
+    pub fn new(gain: Gain, max_output_db: f64) -> Self {
+        assert!(max_output_db.is_finite());
         Amplifier {
-            gain_db,
+            gain_db: gain.db(),
             max_output_db,
         }
     }
@@ -86,7 +87,7 @@ impl Amplifier {
     /// speaker, modelled as 40 dB of gain with the rail at exactly the
     /// level that drives the speaker to full output.
     pub fn toa_bg2120() -> Self {
-        Amplifier::new(40.0, SignalChain::FULL_SCALE_LINE_DB)
+        Amplifier::new(Gain::from_db(40.0), SignalChain::FULL_SCALE_LINE_DB)
     }
 
     /// Gain applied to the input level, with clipping at `max_output_db`

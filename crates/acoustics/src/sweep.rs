@@ -46,7 +46,13 @@ impl SweepPlan {
     ///
     /// Panics if the band is empty or a step is non-positive, or the fine
     /// step is larger than the coarse step.
-    pub fn new(start: Frequency, end: Frequency, coarse_step_hz: f64, fine_step_hz: f64) -> Self {
+    pub fn new(
+        start: Frequency,
+        end: Frequency,
+        coarse_step: Frequency,
+        fine_step: Frequency,
+    ) -> Self {
+        let (coarse_step_hz, fine_step_hz) = (coarse_step.hz(), fine_step.hz());
         assert!(start.hz() < end.hz(), "sweep band must be non-empty");
         assert!(
             coarse_step_hz > 0.0 && fine_step_hz > 0.0,
@@ -70,8 +76,8 @@ impl SweepPlan {
         SweepPlan::new(
             Frequency::from_hz(100.0),
             Frequency::from_khz(16.9),
-            100.0,
-            50.0,
+            Frequency::from_hz(100.0),
+            Frequency::from_hz(50.0),
         )
     }
 
@@ -188,8 +194,8 @@ mod tests {
         let plan = SweepPlan::new(
             Frequency::from_hz(100.0),
             Frequency::from_hz(1_000.0),
-            100.0,
-            50.0,
+            Frequency::from_hz(100.0),
+            Frequency::from_hz(50.0),
         );
         // Pretend only 600 Hz-ish is vulnerable.
         let visited = plan.run_adaptive(|f| (550.0..=650.0).contains(&f.hz()));
@@ -215,8 +221,8 @@ mod tests {
         SweepPlan::new(
             Frequency::from_hz(500.0),
             Frequency::from_hz(100.0),
-            10.0,
-            5.0,
+            Frequency::from_hz(10.0),
+            Frequency::from_hz(5.0),
         );
     }
 }

@@ -63,6 +63,7 @@ impl Frequency {
 
     /// The period of one cycle in seconds. Infinite for 0 Hz.
     pub fn period_s(self) -> f64 {
+        // deepnote-lint: allow(float-eq): 0.0 is an exact sentinel (DC), not a computed value
         if self.hz == 0.0 {
             f64::INFINITY
         } else {
@@ -82,6 +83,7 @@ impl Frequency {
     /// Panics if `sound_speed_m_s` is not positive.
     pub fn wavelength_m(self, sound_speed_m_s: f64) -> f64 {
         assert!(sound_speed_m_s > 0.0, "sound speed must be positive");
+        // deepnote-lint: allow(float-eq): 0.0 is an exact sentinel (DC), not a computed value
         if self.hz == 0.0 {
             f64::INFINITY
         } else {
@@ -180,6 +182,7 @@ impl Mul<f64> for Distance {
 impl Div<f64> for Distance {
     type Output = Distance;
     fn div(self, rhs: f64) -> Distance {
+        // deepnote-lint: allow(float-eq): guards exact division by literal zero
         assert!(rhs != 0.0, "division of distance by zero");
         Distance::from_m(self.m / rhs)
     }
@@ -194,6 +197,37 @@ impl fmt::Display for Distance {
         } else {
             write!(f, "{:.3}km", self.km())
         }
+    }
+}
+
+/// A gain (or, negative, an attenuation) in decibels — a ratio applied
+/// to a signal, not an absolute level like [`crate::Spl`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Gain(f64);
+
+impl Gain {
+    /// Unity gain (0 dB).
+    pub const UNITY: Gain = Gain(0.0);
+
+    /// Creates a gain from decibels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `db` is non-finite.
+    pub fn from_db(db: f64) -> Self {
+        assert_finite!(db, "gain");
+        Gain(db)
+    }
+
+    /// Decibels.
+    pub fn db(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Gain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.1}dB", self.0)
     }
 }
 

@@ -1,6 +1,8 @@
 //! ABL-ADAPTIVE: the §3 remote attacker — frequency discovery from
 //! observed latency, plus the redundancy and spectrum studies.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_acoustics::{Distance, Frequency, SweepPlan};
 use deepnote_core::experiments::{ablations, adaptive, redundancy};
@@ -34,8 +36,8 @@ fn bench(c: &mut Criterion) {
     let quick_plan = SweepPlan::new(
         Frequency::from_hz(100.0),
         Frequency::from_khz(4.0),
-        200.0,
-        50.0,
+        Frequency::from_hz(200.0),
+        Frequency::from_hz(50.0),
     );
     c.bench_function("abl_adaptive/remote_discovery_quick", |b| {
         b.iter(|| {

@@ -2,6 +2,8 @@
 //! campaign event loop (quorum serving, failure detection, failover,
 //! re-replication) for both placement policies.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_cluster::prelude::*;
 use deepnote_sim::SimDuration;

@@ -1,6 +1,8 @@
 //! ABL-DEFENSE: §5 "In-air Defenses" — liner, dampers, augmented servo,
 //! and their thermal cost.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_core::defense;
 use deepnote_core::report;

@@ -1,6 +1,8 @@
 //! ABL-MATERIAL: §5 "Data Center Structure" — enclosure material and
 //! wall thickness vs attack effect.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_core::experiments::ablations;
 use deepnote_core::report;

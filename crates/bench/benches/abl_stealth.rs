@@ -2,6 +2,8 @@
 //! the §3 "controlled throughput loss" objective, quantified against a
 //! defender.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_core::experiments::stealth;
 use deepnote_core::testbed::Testbed;

@@ -1,6 +1,8 @@
 //! ABL-TOLERANCE: sensitivity of the dead bands to the read/write
 //! off-track thresholds — the mechanism behind Fig. 2's asymmetry.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_core::experiments::ablations;
 use deepnote_core::report;

@@ -1,6 +1,8 @@
 //! ABL-WATER: §5 "Water Conditions" — temperature/salinity/depth vs the
 //! attack's open-water reach, plus attacker power.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_core::experiments::ablations;
 use deepnote_core::report;

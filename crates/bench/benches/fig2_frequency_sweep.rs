@@ -6,6 +6,8 @@
 //! container's (Scenario 3) bands end lower (~1.3 kHz writes, ~800 Hz
 //! reads).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_acoustics::{Distance, SweepPlan};
 use deepnote_core::experiments::frequency;

@@ -1,6 +1,8 @@
 //! Microbenchmarks of the substrate itself: how fast does the simulation
 //! run per simulated second? Useful when extending the models.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_blockdev::{BlockDevice, HddDisk, MemDisk};
 use deepnote_fs::Filesystem;

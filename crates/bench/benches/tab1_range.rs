@@ -5,6 +5,8 @@
 //! 10 cm 12.6/0.3; 15 cm 17.6/2.9 (write 4.0 ms); 20 cm 17.6/21.1;
 //! 25 cm 18.0/22.0.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_core::experiments::range;
 use deepnote_core::report;

@@ -5,6 +5,8 @@
 //! Paper rows: No Attack 8.7 MB/s & 1.1×100k ops/s; 1–10 cm zero;
 //! 15 cm 3.7 & 0.9; 20–25 cm 8.6 & 1.1.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_core::experiments::range;
 use deepnote_core::report;

@@ -4,6 +4,8 @@
 //!
 //! Paper rows: Ext4 80.0 s, Ubuntu 81.0 s, RocksDB 81.3 s.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepnote_core::experiments::crash;
 use deepnote_core::report;

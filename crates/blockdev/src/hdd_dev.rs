@@ -9,7 +9,7 @@ use crate::device::{check_request, BlockDevice, BLOCK_SIZE};
 use crate::error::IoError;
 use deepnote_hdd::{DiskOp, HardDiskDrive, VibrationInput};
 use deepnote_sim::Clock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A block device backed by the mechanical drive model.
 ///
@@ -29,7 +29,7 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct HddDisk {
     drive: HardDiskDrive,
-    blocks: HashMap<u64, Box<[u8; BLOCK_SIZE]>>,
+    blocks: BTreeMap<u64, Box<[u8; BLOCK_SIZE]>>,
     read_errors: u64,
     write_errors: u64,
 }
@@ -39,7 +39,7 @@ impl HddDisk {
     pub fn new(drive: HardDiskDrive) -> Self {
         HddDisk {
             drive,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             read_errors: 0,
             write_errors: 0,
         }

@@ -3,7 +3,7 @@
 use crate::device::{check_request, BlockDevice, BLOCK_SIZE};
 use crate::error::IoError;
 use deepnote_sim::{Clock, SimDuration};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An in-memory device: never fails, optionally charges a fixed latency
 /// per request against a virtual clock. Unwritten blocks read as zeros;
@@ -23,7 +23,7 @@ use std::collections::HashMap;
 #[derive(Debug, Default)]
 pub struct MemDisk {
     num_blocks: u64,
-    blocks: HashMap<u64, Box<[u8; BLOCK_SIZE]>>,
+    blocks: BTreeMap<u64, Box<[u8; BLOCK_SIZE]>>,
     latency: Option<(Clock, SimDuration)>,
     reads: u64,
     writes: u64,
@@ -39,7 +39,7 @@ impl MemDisk {
         assert!(num_blocks > 0, "device must have at least one block");
         MemDisk {
             num_blocks,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             latency: None,
             reads: 0,
             writes: 0,

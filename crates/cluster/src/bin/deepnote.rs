@@ -16,6 +16,8 @@
 //! deepnote all
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_acoustics::{Distance, SweepPlan};
 use deepnote_cluster::prelude::*;
 use deepnote_core::experiments::{

@@ -10,6 +10,7 @@
 //! heartbeat cadence a real control plane would use.
 
 use crate::cluster::{Cluster, ClusterConfig};
+use crate::error::ClusterError;
 use crate::metrics::{ClusterMetrics, PhaseMetrics};
 use crate::placement::PlacementPolicy;
 use crate::report::CampaignReport;
@@ -141,10 +142,16 @@ impl EventQueue {
 }
 
 /// Runs one campaign to completion and reports.
-pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+///
+/// # Errors
+///
+/// [`ClusterError`] if the cluster fails to launch or provision; the
+/// campaign itself (attacks, crashes, failed quorums) never errors —
+/// those are results, captured in the report.
+pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterError> {
     let spec = config.workload;
-    let mut cluster = Cluster::new(config.cluster.clone());
-    cluster.provision(&spec);
+    let mut cluster = Cluster::new(config.cluster.clone())?;
+    cluster.provision(&spec)?;
     let mut rng = SimRng::seeded(config.seed);
     let mut pool = ClientPool::new(&spec, &mut rng);
 
@@ -215,7 +222,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     max_unavailable_by_phase[last_phase] =
         max_unavailable_by_phase[last_phase].max(cluster.unavailable_shards(end));
 
-    CampaignReport {
+    Ok(CampaignReport {
         label: config.label.clone(),
         placement: config.cluster.placement,
         seed: config.seed,
@@ -226,12 +233,12 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         max_unavailable_by_phase,
         final_unavailable_shards: cluster.unavailable_shards(end),
         events: cluster.events().to_vec(),
-    }
+    })
 }
 
 /// Runs a batch of campaigns on parallel OS threads (each is its own
-/// virtual-time world); a panicking run surfaces as `Err` without
-/// discarding its siblings.
+/// virtual-time world); a panicking or erroring run surfaces as `Err`
+/// without discarding its siblings.
 pub fn run_matrix(configs: Vec<CampaignConfig>) -> Vec<Result<CampaignReport, String>> {
     try_run_all(
         configs
@@ -239,6 +246,13 @@ pub fn run_matrix(configs: Vec<CampaignConfig>) -> Vec<Result<CampaignReport, St
             .map(|c| move || run_campaign(&c))
             .collect::<Vec<_>>(),
     )
+    .into_iter()
+    .map(|r| match r {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(panic) => Err(panic),
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -273,7 +287,7 @@ mod tests {
 
     #[test]
     fn baseline_phase_serves_cleanly() {
-        let report = run_campaign(&short_config(PlacementPolicy::Separated));
+        let report = run_campaign(&short_config(PlacementPolicy::Separated)).expect("campaign");
         let baseline = report.metrics.phase("baseline").unwrap();
         assert!(
             baseline.success_ratio() > 0.99,
@@ -285,8 +299,8 @@ mod tests {
 
     #[test]
     fn separated_placement_survives_what_colocated_does_not() {
-        let sep = run_campaign(&short_config(PlacementPolicy::Separated));
-        let col = run_campaign(&short_config(PlacementPolicy::CoLocated));
+        let sep = run_campaign(&short_config(PlacementPolicy::Separated)).expect("campaign");
+        let col = run_campaign(&short_config(PlacementPolicy::CoLocated)).expect("campaign");
         let sep_attack = sep.metrics.phase("attack").unwrap().success_ratio();
         let col_attack = col.metrics.phase("attack").unwrap().success_ratio();
         assert!(
@@ -299,8 +313,8 @@ mod tests {
 
     #[test]
     fn campaigns_are_deterministic_per_seed() {
-        let a = run_campaign(&short_config(PlacementPolicy::CoLocated));
-        let b = run_campaign(&short_config(PlacementPolicy::CoLocated));
+        let a = run_campaign(&short_config(PlacementPolicy::CoLocated)).expect("campaign");
+        let b = run_campaign(&short_config(PlacementPolicy::CoLocated)).expect("campaign");
         assert_eq!(a.render(), b.render());
         assert_eq!(a.events, b.events);
     }

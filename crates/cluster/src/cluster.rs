@@ -7,6 +7,7 @@
 //! wiring: quorum dispatch, failure detection, failover, and
 //! re-replication.
 
+use crate::error::ClusterError;
 use crate::health::{HealthConfig, HealthMonitor, Transition};
 use crate::node::{RestartOutcome, StorageNode};
 use crate::placement::{shard_of, NodeId, PlacementPolicy, RackSpec, ShardId, ShardMap, Topology};
@@ -103,7 +104,12 @@ const PROBE_KEY: &[u8] = b"__health_probe__";
 
 impl Cluster {
     /// Builds and launches every node, healthy and silent.
-    pub fn new(config: ClusterConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NodeLaunch`] if any node fails to format its
+    /// fresh drive.
+    pub fn new(config: ClusterConfig) -> Result<Self, ClusterError> {
         let topo = Topology::build(&config.racks);
         let map = ShardMap::build(
             &topo,
@@ -120,9 +126,9 @@ impl Cluster {
                     ClusterConfig::node_db_config(),
                 )
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let monitor = HealthMonitor::new(nodes.len(), config.health);
-        Cluster {
+        Ok(Cluster {
             testbed: Testbed::paper_default(config.scenario),
             topo,
             nodes,
@@ -134,7 +140,7 @@ impl Cluster {
             failovers: 0,
             events: Vec::new(),
             config,
-        }
+        })
     }
 
     /// The configuration in effect.
@@ -180,7 +186,12 @@ impl Cluster {
     /// Loads the whole keyspace onto every replica before the campaign
     /// (provisioning time is off the cluster timeline) and memoizes the
     /// per-shard key lists the repair path copies from.
-    pub fn provision(&mut self, spec: &WorkloadSpec) {
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Provision`] if a preload write fails, or
+    /// [`ClusterError::NodeNotRunning`] if a replica is already down.
+    pub fn provision(&mut self, spec: &WorkloadSpec) -> Result<(), ClusterError> {
         let mut per_node: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); self.nodes.len()];
         for i in 0..spec.num_keys {
             let key = spec.key(i);
@@ -192,8 +203,9 @@ impl Cluster {
             }
         }
         for (n, pairs) in per_node.iter().enumerate() {
-            self.nodes[n].preload(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())));
+            self.nodes[n].preload(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())))?;
         }
+        Ok(())
     }
 
     /// Retunes (or silences) the speaker: every node receives the
@@ -333,7 +345,9 @@ impl Cluster {
                 let Some(target) = self.map.failover_target(shard, n, &self.topo, &up) else {
                     continue;
                 };
-                self.map.reassign(shard, n, target);
+                if !self.map.reassign(shard, n, target) {
+                    continue;
+                }
                 self.repairs.enqueue(shard, target, RepairReason::Failover);
                 self.failovers += 1;
                 self.note(
@@ -406,8 +420,8 @@ mod tests {
     }
 
     fn cluster(placement: PlacementPolicy) -> Cluster {
-        let mut c = Cluster::new(ClusterConfig::three_racks(placement));
-        c.provision(&small_spec());
+        let mut c = Cluster::new(ClusterConfig::three_racks(placement)).expect("launch");
+        c.provision(&small_spec()).expect("provision");
         c
     }
 

@@ -1,0 +1,53 @@
+//! Cluster-level errors.
+//!
+//! The serving path itself never errors — a dead node is a simulation
+//! *result*, reported through `ServiceResult` and the campaign metrics.
+//! `ClusterError` covers the control-plane operations that must succeed
+//! for a campaign to be meaningful at all: bringing nodes up and
+//! provisioning the keyspace before the attack starts.
+
+use deepnote_kv::DbError;
+use std::fmt;
+
+/// Errors raised while standing a cluster up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Formatting or opening a node's fresh store failed during launch.
+    NodeLaunch {
+        /// Node that failed to come up.
+        node: usize,
+        /// The underlying store error.
+        source: DbError,
+    },
+    /// A pre-campaign preload write or flush failed on a healthy node.
+    Provision {
+        /// Node that rejected the preload.
+        node: usize,
+        /// The underlying store error.
+        source: DbError,
+    },
+    /// A control-plane operation addressed a node in the wrong lifecycle
+    /// state (e.g. preloading a crashed node).
+    NodeNotRunning {
+        /// The misaddressed node.
+        node: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NodeLaunch { node, source } => {
+                write!(f, "node {node} failed to launch: {source}")
+            }
+            ClusterError::Provision { node, source } => {
+                write!(f, "provisioning node {node} failed: {source}")
+            }
+            ClusterError::NodeNotRunning { node } => {
+                write!(f, "node {node} is not running")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

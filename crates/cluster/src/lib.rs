@@ -43,12 +43,13 @@
 //! );
 //! config.workload.num_keys = 120; // keep the doctest quick
 //! config.workload.clients = 2;
-//! let report = run_campaign(&config);
+//! let report = run_campaign(&config).expect("launch and provision succeed");
 //! assert!(report.metrics.phase("baseline").unwrap().success_ratio() > 0.99);
 //! ```
 
 pub mod campaign;
 pub mod cluster;
+pub mod error;
 pub mod health;
 pub mod metrics;
 pub mod node;
@@ -62,6 +63,7 @@ pub mod workload;
 pub mod prelude {
     pub use crate::campaign::{run_campaign, run_matrix, CampaignConfig};
     pub use crate::cluster::{Cluster, ClusterConfig};
+    pub use crate::error::ClusterError;
     pub use crate::health::HealthConfig;
     pub use crate::metrics::ClusterMetrics;
     pub use crate::placement::{PlacementPolicy, RackSpec};

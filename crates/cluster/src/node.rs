@@ -9,6 +9,7 @@
 //! timeline for 81 seconds, exactly like a real server with a blocked
 //! fsync.
 
+use crate::error::ClusterError;
 use deepnote_acoustics::Distance;
 use deepnote_blockdev::{BlockDevice, HddDisk};
 use deepnote_hdd::VibrationInput;
@@ -85,17 +86,23 @@ pub struct StorageNode {
 impl StorageNode {
     /// Brings up a node with a freshly formatted drive.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if formatting the fresh device fails (it cannot, absent an
-    /// attack mounted before the node exists).
-    pub fn launch(id: usize, rack: usize, position: Distance, db_config: DbConfig) -> Self {
+    /// [`ClusterError::NodeLaunch`] if formatting the fresh device fails
+    /// (it cannot, absent an attack mounted before the node exists, but
+    /// a launch failure must surface as an error, not a crash).
+    pub fn launch(
+        id: usize,
+        rack: usize,
+        position: Distance,
+        db_config: DbConfig,
+    ) -> Result<Self, ClusterError> {
         let clock = Clock::new();
         let disk = HddDisk::barracuda_500gb(clock.clone());
         let vibration = disk.vibration();
-        let db =
-            Db::create_with(disk, clock.clone(), db_config).expect("fresh node formats cleanly");
-        StorageNode {
+        let db = Db::create_with(disk, clock.clone(), db_config)
+            .map_err(|source| ClusterError::NodeLaunch { node: id, source })?;
+        Ok(StorageNode {
             id,
             rack,
             position,
@@ -105,7 +112,7 @@ impl StorageNode {
             busy_until: SimTime::ZERO,
             db_config,
             counters: NodeCounters::default(),
-        }
+        })
     }
 
     /// The node's id.
@@ -147,17 +154,24 @@ impl StorageNode {
     /// time is off the books (`busy_until` is untouched), but the data and
     /// its on-disk footprint are real.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the healthy pre-campaign load fails.
-    pub fn preload<'a>(&mut self, pairs: impl IntoIterator<Item = (&'a [u8], &'a [u8])>) {
+    /// [`ClusterError::NodeNotRunning`] on a stopped node;
+    /// [`ClusterError::Provision`] if a write or the final flush fails.
+    pub fn preload<'a>(
+        &mut self,
+        pairs: impl IntoIterator<Item = (&'a [u8], &'a [u8])>,
+    ) -> Result<(), ClusterError> {
+        let id = self.id;
         let Engine::Running(db) = &mut self.engine else {
-            panic!("preload on a stopped node");
+            return Err(ClusterError::NodeNotRunning { node: id });
         };
         for (k, v) in pairs {
-            db.put(k, v).expect("preload write on a healthy node");
+            db.put(k, v)
+                .map_err(|source| ClusterError::Provision { node: id, source })?;
         }
-        db.flush().expect("preload flush on a healthy node");
+        db.flush()
+            .map_err(|source| ClusterError::Provision { node: id, source })
     }
 
     /// Serves a get dispatched at cluster time `at`.
@@ -211,10 +225,15 @@ impl StorageNode {
     }
 
     /// Pulls the disk out of a dead engine so its platters survive the
-    /// process crash.
+    /// process crash. On a node that is not running there is nothing to
+    /// crash and the call is a (debug-asserted) no-op.
     fn crash_engine(&mut self) {
+        if !matches!(self.engine, Engine::Running(_)) {
+            debug_assert!(false, "crash_engine on a node that is not running");
+            return;
+        }
         let Engine::Running(mut db) = std::mem::replace(&mut self.engine, Engine::Swapping) else {
-            unreachable!("crash_engine on a node that is not running");
+            return; // checked above; keeps the move below panic-free
         };
         let mut disk = HddDisk::barracuda_500gb(self.clock.clone());
         std::mem::swap(db.filesystem_mut().device_mut(), &mut disk);
@@ -232,10 +251,16 @@ impl StorageNode {
     /// original platters for the next attempt. If the probe passes but
     /// recovery still fails, the drive is swapped for a blank unit and
     /// the node rejoins empty.
+    /// Restarting a node that is not stopped is a (debug-asserted)
+    /// no-op reported as [`RestartOutcome::StillDead`].
     pub fn try_restart(&mut self, at: SimTime) -> RestartOutcome {
+        if !matches!(self.engine, Engine::Stopped(_)) {
+            debug_assert!(false, "try_restart on a node that is not stopped");
+            return RestartOutcome::StillDead;
+        }
         let Engine::Stopped(mut disk) = std::mem::replace(&mut self.engine, Engine::Swapping)
         else {
-            panic!("try_restart on a node that is not stopped");
+            return RestartOutcome::StillDead; // checked above
         };
         let start = self.busy_until.max(at);
         let t0 = self.clock.now();
@@ -301,7 +326,7 @@ mod tests {
     }
 
     fn node() -> StorageNode {
-        StorageNode::launch(0, 0, Distance::from_cm(1.0), quick_config())
+        StorageNode::launch(0, 0, Distance::from_cm(1.0), quick_config()).expect("fresh launch")
     }
 
     #[test]
@@ -329,7 +354,8 @@ mod tests {
     #[test]
     fn attack_crashes_engine_and_preserves_platters() {
         let mut n = node();
-        n.preload([(b"stable".as_slice(), b"value".as_slice())]);
+        n.preload([(b"stable".as_slice(), b"value".as_slice())])
+            .expect("preload");
         let testbed = Testbed::paper_default(Scenario::PlasticTower);
         testbed.mount_attack(n.vibration(), AttackParams::paper_best());
         // Hammer writes until a WAL group sync trips and the store dies.

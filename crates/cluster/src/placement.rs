@@ -186,20 +186,26 @@ impl ShardMap {
 
     /// Replaces `old` with `new` in `shard`'s replica set (failover).
     ///
-    /// # Panics
-    ///
-    /// Panics if `old` is not a replica or `new` already is.
-    pub fn reassign(&mut self, shard: ShardId, old: NodeId, new: NodeId) {
+    /// Returns `false` (and leaves the set untouched) if `old` is not a
+    /// replica or `new` already is — both indicate a stale failover
+    /// decision and are debug-asserted, but the shard map stays
+    /// consistent either way.
+    #[must_use]
+    pub fn reassign(&mut self, shard: ShardId, old: NodeId, new: NodeId) -> bool {
         let set = &mut self.replicas[shard];
-        assert!(
-            !set.contains(&new),
-            "node {new} already replicates shard {shard}"
-        );
-        let slot = set
-            .iter()
-            .position(|&n| n == old)
-            .expect("reassign of a non-replica");
+        if set.contains(&new) {
+            debug_assert!(false, "node {new} already replicates shard {shard}");
+            return false;
+        }
+        let Some(slot) = set.iter().position(|&n| n == old) else {
+            debug_assert!(
+                false,
+                "reassign of a non-replica (shard {shard}, node {old})"
+            );
+            return false;
+        };
         set[slot] = new;
+        true
     }
 
     /// Picks a failover target for `shard` replacing `old`: a healthy
@@ -363,7 +369,7 @@ mod tests {
         let old = map.replicas(1)[0];
         let healthy = vec![true; t.nodes()];
         let new = map.failover_target(1, old, &t, &healthy).unwrap();
-        map.reassign(1, old, new);
+        assert!(map.reassign(1, old, new));
         assert!(map.replicas(1).contains(&new));
         assert!(!map.replicas(1).contains(&old));
         assert!(map.shards_on(new).contains(&1));

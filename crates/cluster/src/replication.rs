@@ -259,7 +259,11 @@ impl RepairQueue {
         let Some(idx) = runnable else {
             return 0;
         };
-        let mut job = self.jobs.remove(idx).expect("index in range");
+        // `idx` came from the scan above, so removal cannot miss; a
+        // `None` here would mean the queue changed under us.
+        let Some(mut job) = self.jobs.remove(idx) else {
+            return 0;
+        };
         let Some(source) = self.source_for(&job, map, nodes, up, deadline) else {
             self.jobs.push_back(job);
             return 0;
@@ -323,7 +327,10 @@ mod tests {
 
     fn nodes(n: usize) -> Vec<StorageNode> {
         (0..n)
-            .map(|i| StorageNode::launch(i, 0, Distance::from_cm(1.0), DbConfig::default()))
+            .map(|i| {
+                StorageNode::launch(i, 0, Distance::from_cm(1.0), DbConfig::default())
+                    .expect("fresh launch")
+            })
             .collect()
     }
 

@@ -6,6 +6,8 @@
 //! deepnote-fio --inline "rw=write bs=4k runtime=5" [...]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_acoustics::{Distance, Frequency};
 use deepnote_blockdev::HddDisk;
 use deepnote_core::testbed::Testbed;

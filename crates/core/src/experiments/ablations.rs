@@ -276,7 +276,13 @@ pub fn attacker_depth() -> Vec<DepthRow> {
         let mut best = None;
         let mut r = 100.0;
         while r <= 20_000.0 {
-            let rx = received_spl_lloyd(&emission, &water, r, source_depth_m, target_depth_m);
+            let rx = received_spl_lloyd(
+                &emission,
+                &water,
+                Distance::from_m(r),
+                Depth::from_m(source_depth_m),
+                Depth::from_m(target_depth_m),
+            );
             if rx.db() >= threshold.db() {
                 best = Some(r);
             }

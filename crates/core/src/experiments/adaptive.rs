@@ -170,8 +170,8 @@ mod tests {
         SweepPlan::new(
             Frequency::from_hz(100.0),
             Frequency::from_khz(4.0),
-            200.0,
-            50.0,
+            Frequency::from_hz(200.0),
+            Frequency::from_hz(50.0),
         )
     }
 
@@ -199,8 +199,8 @@ mod tests {
         let plan = SweepPlan::new(
             Frequency::from_khz(5.0),
             Frequency::from_khz(10.0),
-            1_000.0,
-            500.0,
+            Frequency::from_hz(1_000.0),
+            Frequency::from_hz(500.0),
         );
         let discovery = remote_frequency_discovery(&testbed, Distance::from_cm(1.0), &plan, 6);
         assert!(

@@ -81,15 +81,13 @@ pub fn decode_entries(buf: &[u8]) -> Result<Vec<DirEntry>, FsError> {
     let mut entries = Vec::new();
     let mut r = Reader::new(buf);
     while r.position() < buf.len() {
-        if buf.len() - r.position() < 12 {
+        let ino = r.u64().ok_or(FsError::BadSuperblock)?;
+        let len = r.u32().ok_or(FsError::BadSuperblock)? as usize;
+        if len == 0 || len > MAX_NAME_LEN {
             return Err(FsError::BadSuperblock);
         }
-        let ino = r.u64();
-        let len = r.u32() as usize;
-        if len == 0 || len > MAX_NAME_LEN || buf.len() - r.position() < len {
-            return Err(FsError::BadSuperblock);
-        }
-        let name = std::str::from_utf8(r.bytes(len))
+        let raw_name = r.bytes(len).ok_or(FsError::BadSuperblock)?;
+        let name = std::str::from_utf8(raw_name)
             .map_err(|_| FsError::BadSuperblock)?
             .to_string();
         entries.push(DirEntry { ino, name });

@@ -58,11 +58,11 @@ pub struct Filesystem<D: BlockDevice> {
     /// Bitmap staging is incremental: only blocks whose bits changed since
     /// they were last staged are journaled again.
     dirty_inode_bitmap: bool,
-    dirty_block_bitmap: std::collections::HashSet<u64>,
+    dirty_block_bitmap: std::collections::BTreeSet<u64>,
     /// In-memory block cache standing in for the OS page cache: reads of
     /// previously seen blocks cost no device time, which is what lets
     /// metadata-heavy workloads run at memory speed on a slow disk.
-    cache: std::collections::HashMap<u64, Vec<u8>>,
+    cache: std::collections::BTreeMap<u64, Vec<u8>>,
     /// FIFO insertion order for eviction when a cache limit is set.
     cache_order: std::collections::VecDeque<u64>,
     /// Optional page-cache capacity in blocks (None = unbounded). A small
@@ -206,8 +206,8 @@ impl<D: BlockDevice> Filesystem<D> {
                 inode_bitmap,
                 block_bitmap,
                 dirty_inode_bitmap: false,
-                dirty_block_bitmap: std::collections::HashSet::new(),
-                cache: std::collections::HashMap::new(),
+                dirty_block_bitmap: std::collections::BTreeSet::new(),
+                cache: std::collections::BTreeMap::new(),
                 cache_order: std::collections::VecDeque::new(),
                 cache_limit: None,
                 pending_data: Vec::new(),
@@ -428,7 +428,11 @@ impl<D: BlockDevice> Filesystem<D> {
         }
         let mut raw = self.read_effective(inode.indirect)?;
         let off = (ind_index as usize) * 8;
-        let ptr = u64::from_le_bytes(raw[off..off + 8].try_into().expect("8-byte slice"));
+        let ptr = raw
+            .get(off..off + 8)
+            .and_then(|s| s.try_into().ok())
+            .map(u64::from_le_bytes)
+            .ok_or(FsError::BadSuperblock)?;
         if ptr != NO_BLOCK || !allocate {
             return Ok(ptr);
         }
@@ -959,7 +963,7 @@ impl<D: BlockDevice> Filesystem<D> {
     /// Device errors while scanning.
     pub fn fsck(&mut self) -> Result<Vec<String>, FsError> {
         let mut problems = Vec::new();
-        let mut used = std::collections::HashSet::new();
+        let mut used = std::collections::BTreeSet::new();
         for ino in 0..self.sb.total_inodes {
             if ino <= 1 || !self.inode_bitmap.is_set(ino) {
                 continue;

@@ -104,14 +104,17 @@ impl Inode {
             return Err(FsError::BadSuperblock);
         }
         let mut r = Reader::new(buf);
-        let kind = InodeKind::from_u32(r.u32()).ok_or(FsError::BadSuperblock)?;
-        let links = r.u32();
-        let size = r.u64();
-        let mut direct = [NO_BLOCK; DIRECT_POINTERS];
-        for d in &mut direct {
-            *d = r.u64();
-        }
-        let indirect = r.u64();
+        let parse = |r: &mut Reader| -> Option<(InodeKind, u32, u64, [u64; DIRECT_POINTERS], u64)> {
+            let kind = InodeKind::from_u32(r.u32()?)?;
+            let links = r.u32()?;
+            let size = r.u64()?;
+            let mut direct = [NO_BLOCK; DIRECT_POINTERS];
+            for d in &mut direct {
+                *d = r.u64()?;
+            }
+            Some((kind, links, size, direct, r.u64()?))
+        };
+        let (kind, links, size, direct, indirect) = parse(&mut r).ok_or(FsError::BadSuperblock)?;
         Ok(Inode {
             kind,
             size,

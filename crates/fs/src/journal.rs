@@ -187,10 +187,10 @@ impl Journal {
     /// Parses a journal superblock, returning `(clean_seq, head)`.
     fn parse_jsb(buf: &[u8]) -> Option<(u64, u64)> {
         let mut r = Reader::new(buf);
-        if r.u32() != JSB_MAGIC {
+        if r.u32()? != JSB_MAGIC {
             return None;
         }
-        Some((r.u64(), r.u64()))
+        Some((r.u64()?, r.u64()?))
     }
 
     /// Writes `data` to `fs_block`, retrying on failure until the patience
@@ -345,21 +345,29 @@ impl Journal {
         let mut off = 1;
         while off < region_blocks {
             let raw = read_fs_block(dev, region_start + off)?;
-            let mut r = Reader::new(&raw);
-            if r.u32() != JDESC_MAGIC {
+            // A descriptor that does not parse — bad magic, or a home
+            // list torn past the end of the block — is skipped like any
+            // other non-descriptor block.
+            let parse_desc = |raw: &[u8]| -> Option<(u64, u64, Vec<u64>)> {
+                let mut r = Reader::new(raw);
+                if r.u32()? != JDESC_MAGIC {
+                    return None;
+                }
+                let seq = r.u64()?;
+                let count = r.u32()? as u64;
+                if count == 0 || off + 1 + count + 1 > region_blocks {
+                    return None;
+                }
+                let mut homes = Vec::new();
+                for _ in 0..count {
+                    homes.push(r.u64()?);
+                }
+                Some((seq, count, homes))
+            };
+            let Some((seq, count, homes)) = parse_desc(&raw) else {
                 off += 1;
                 continue;
-            }
-            let seq = r.u64();
-            let count = r.u32() as u64;
-            if count == 0 || off + 1 + count + 1 > region_blocks {
-                off += 1;
-                continue;
-            }
-            let mut homes = Vec::new();
-            for _ in 0..count {
-                homes.push(r.u64());
-            }
+            };
             let mut images = BTreeMap::new();
             for (i, home) in homes.iter().enumerate() {
                 let img = read_fs_block(dev, region_start + off + 1 + i as u64)?;
@@ -367,8 +375,9 @@ impl Journal {
             }
             let cmt_raw = read_fs_block(dev, region_start + off + 1 + count)?;
             let mut cr = Reader::new(&cmt_raw);
-            let valid =
-                cr.u32() == JCOMMIT_MAGIC && cr.u64() == seq && cr.u32() == checksum(&images);
+            let valid = cr.u32() == Some(JCOMMIT_MAGIC)
+                && cr.u64() == Some(seq)
+                && cr.u32() == Some(checksum(&images));
             if valid {
                 candidates.insert(seq, images.into_iter().collect());
                 off += 1 + count + 1;

@@ -167,24 +167,27 @@ impl Superblock {
             return Err(FsError::BadSuperblock);
         }
         let mut r = Reader::new(buf);
-        if r.u32() != MAGIC {
-            return Err(FsError::BadSuperblock);
-        }
-        let sb = Superblock {
-            total_blocks: r.u64(),
-            journal_start: r.u64(),
-            journal_blocks: r.u64(),
-            inode_bitmap_block: r.u64(),
-            block_bitmap_start: r.u64(),
-            block_bitmap_blocks: r.u64(),
-            inode_table_start: r.u64(),
-            inode_table_blocks: r.u64(),
-            data_start: r.u64(),
-            total_inodes: r.u64(),
-            state: SbState::from_u32(r.u32()).ok_or(FsError::BadSuperblock)?,
-            error_code: r.i32(),
-            mount_count: r.u32(),
+        let parse = |r: &mut Reader| -> Option<Superblock> {
+            if r.u32()? != MAGIC {
+                return None;
+            }
+            Some(Superblock {
+                total_blocks: r.u64()?,
+                journal_start: r.u64()?,
+                journal_blocks: r.u64()?,
+                inode_bitmap_block: r.u64()?,
+                block_bitmap_start: r.u64()?,
+                block_bitmap_blocks: r.u64()?,
+                inode_table_start: r.u64()?,
+                inode_table_blocks: r.u64()?,
+                data_start: r.u64()?,
+                total_inodes: r.u64()?,
+                state: SbState::from_u32(r.u32()?)?,
+                error_code: r.i32()?,
+                mount_count: r.u32()?,
+            })
         };
+        let sb = parse(&mut r).ok_or(FsError::BadSuperblock)?;
         if sb.data_start >= sb.total_blocks || sb.journal_blocks == 0 {
             return Err(FsError::BadSuperblock);
         }
@@ -228,6 +231,11 @@ impl<'a> Writer<'a> {
 }
 
 /// Little-endian field reader over a byte buffer.
+///
+/// Every accessor returns `None` past the end of the buffer instead of
+/// panicking: the bytes come off a (possibly attacked, possibly
+/// corrupt) disk, and a torn journal descriptor or directory block must
+/// surface as a parse error, not crash the node.
 pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -238,28 +246,28 @@ impl<'a> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
-    pub(crate) fn u32(&mut self) -> u32 {
-        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        let v = u32::from_le_bytes(self.buf.get(self.pos..self.pos + 4)?.try_into().ok()?);
         self.pos += 4;
-        v
+        Some(v)
     }
 
-    pub(crate) fn i32(&mut self) -> i32 {
-        let v = i32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+    pub(crate) fn i32(&mut self) -> Option<i32> {
+        let v = i32::from_le_bytes(self.buf.get(self.pos..self.pos + 4)?.try_into().ok()?);
         self.pos += 4;
-        v
+        Some(v)
     }
 
-    pub(crate) fn u64(&mut self) -> u64 {
-        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        let v = u64::from_le_bytes(self.buf.get(self.pos..self.pos + 8)?.try_into().ok()?);
         self.pos += 8;
-        v
+        Some(v)
     }
 
-    pub(crate) fn bytes(&mut self, n: usize) -> &'a [u8] {
-        let v = &self.buf[self.pos..self.pos + n];
+    pub(crate) fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let v = self.buf.get(self.pos..self.pos + n)?;
         self.pos += n;
-        v
+        Some(v)
     }
 
     pub(crate) fn position(&self) -> usize {
@@ -327,10 +335,20 @@ mod tests {
         w.bytes(b"abc");
         assert_eq!(w.position(), 19);
         let mut r = Reader::new(&buf);
-        assert_eq!(r.u32(), 0xDEAD_BEEF);
-        assert_eq!(r.i32(), -42);
-        assert_eq!(r.u64(), 123_456_789_000);
-        assert_eq!(r.bytes(3), b"abc");
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.i32(), Some(-42));
+        assert_eq!(r.u64(), Some(123_456_789_000));
+        assert_eq!(r.bytes(3), Some(b"abc".as_slice()));
         assert_eq!(r.position(), 19);
+    }
+
+    #[test]
+    fn reader_returns_none_past_the_end() {
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32(), None);
+        assert_eq!(r.bytes(2), Some([1u8, 2].as_slice()));
+        assert_eq!(r.bytes(2), None);
+        assert_eq!(r.position(), 2);
     }
 }

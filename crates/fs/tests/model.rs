@@ -3,6 +3,8 @@
 //! every intermediate result and on the final state, including across a
 //! commit + remount cycle.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_blockdev::MemDisk;
 use deepnote_fs::{Filesystem, FsError};
 use deepnote_sim::Clock;

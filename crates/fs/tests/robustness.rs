@@ -3,6 +3,8 @@
 //! point — mounting must never panic, must never corrupt *committed*
 //! data, and must leave a consistent filesystem.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_blockdev::{BlockDevice, MemDisk};
 use deepnote_fs::{Filesystem, FS_BLOCK_SIZE};
 use deepnote_sim::Clock;

@@ -45,7 +45,7 @@ pub use drive::{DiskOp, DiskOpKind, DriveError, HardDiskDrive, OpReport};
 pub use geometry::DriveGeometry;
 pub use servo::ServoModel;
 pub use throughput::{steady_state, SteadyState};
-pub use timing::TimingModel;
+pub use timing::{TimingModel, TimingParams};
 pub use vibration::{ToleranceModel, VibrationInput, VibrationState};
 
 /// Convenience re-exports for downstream crates.
@@ -54,6 +54,6 @@ pub mod prelude {
     pub use crate::geometry::DriveGeometry;
     pub use crate::servo::ServoModel;
     pub use crate::throughput::{steady_state, SteadyState};
-    pub use crate::timing::TimingModel;
+    pub use crate::timing::{TimingModel, TimingParams};
     pub use crate::vibration::{ToleranceModel, VibrationInput, VibrationState};
 }

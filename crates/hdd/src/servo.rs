@@ -13,6 +13,8 @@
 //! I/O regardless of off-track margins.
 
 use crate::vibration::VibrationState;
+use deepnote_acoustics::Frequency;
+use deepnote_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// The drive's servo loop and shock-sensing behaviour.
@@ -48,23 +50,26 @@ impl ServoModel {
     /// Panics if bandwidth/threshold/park duration are not positive or the
     /// roll-off order is not in `1..=4`.
     pub fn new(
-        bandwidth_hz: f64,
+        bandwidth: Frequency,
         rolloff_order: i32,
         shock_threshold_g: f64,
-        park_duration_s: f64,
+        park_duration: SimDuration,
     ) -> Self {
-        assert!(bandwidth_hz > 0.0, "servo bandwidth must be positive");
+        assert!(bandwidth.hz() > 0.0, "servo bandwidth must be positive");
         assert!(
             (1..=4).contains(&rolloff_order),
             "roll-off order must be 1..=4"
         );
         assert!(shock_threshold_g > 0.0, "shock threshold must be positive");
-        assert!(park_duration_s > 0.0, "park duration must be positive");
+        assert!(
+            park_duration > SimDuration::ZERO,
+            "park duration must be positive"
+        );
         ServoModel {
-            bandwidth_hz,
+            bandwidth_hz: bandwidth.hz(),
             rolloff_order,
             shock_threshold_g,
-            park_duration_s,
+            park_duration_s: park_duration.as_secs_f64(),
             rv_compensation: 0.0,
         }
     }
@@ -73,7 +78,12 @@ impl ServoModel {
     /// rejection, 40 g shock-parking threshold, 300 ms park, no RV
     /// sensors (the paper's Barracuda class).
     pub fn typical() -> Self {
-        ServoModel::new(800.0, 2, 40.0, 0.3)
+        ServoModel::new(
+            Frequency::from_hz(800.0),
+            2,
+            40.0,
+            SimDuration::from_millis(300),
+        )
     }
 
     /// An enterprise/nearline servo of the kind actually deployed in
@@ -82,7 +92,13 @@ impl ServoModel {
     /// vibration. The §5 "HDD types" ablation compares this against the
     /// desktop servo.
     pub fn enterprise_rv() -> Self {
-        ServoModel::new(1_100.0, 2, 60.0, 0.3).with_rv_compensation(0.85)
+        ServoModel::new(
+            Frequency::from_hz(1_100.0),
+            2,
+            60.0,
+            SimDuration::from_millis(300),
+        )
+        .with_rv_compensation(0.85)
     }
 
     /// Returns a copy with the given RV feed-forward cancellation
@@ -137,7 +153,7 @@ impl ServoModel {
     ///
     /// `|S(f)| = (f² / (f² + f_bw²))^order`, which tends to 0 at DC and to
     /// 1 far above the loop bandwidth.
-    pub fn rejection(&self, f: deepnote_acoustics::Frequency) -> f64 {
+    pub fn rejection(&self, f: Frequency) -> f64 {
         let f2 = f.hz() * f.hz();
         let fb2 = self.bandwidth_hz * self.bandwidth_hz;
         (f2 / (f2 + fb2)).powi(self.rolloff_order)
@@ -166,7 +182,6 @@ impl Default for ServoModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepnote_acoustics::Frequency;
     use proptest::prelude::*;
 
     #[test]

@@ -12,6 +12,26 @@ use crate::geometry::{DriveGeometry, SECTOR_SIZE};
 use deepnote_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
+/// Raw service-time inputs for [`TimingModel::new`], named so call sites
+/// cannot transpose the six per-command delays (they are all seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Fixed per-command overhead for a read, seconds.
+    pub read_overhead_s: f64,
+    /// Fixed per-command overhead for a write, seconds.
+    pub write_overhead_s: f64,
+    /// Track-to-track seek time, seconds.
+    pub seek_base_s: f64,
+    /// Full-stroke seek time, seconds.
+    pub seek_full_stroke_s: f64,
+    /// Delay before retrying a failed read, seconds.
+    pub retry_delay_read_s: f64,
+    /// Delay before retrying a failed write, seconds.
+    pub retry_delay_write_s: f64,
+    /// Attempts before the drive gives up on an op.
+    pub max_retries: u32,
+}
+
 /// Service-time parameters for a drive.
 ///
 /// # Example
@@ -45,39 +65,30 @@ impl TimingModel {
     /// # Panics
     ///
     /// Panics if any time is negative/non-finite or `max_retries` is zero.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        read_overhead_s: f64,
-        write_overhead_s: f64,
-        seek_base_s: f64,
-        seek_full_stroke_s: f64,
-        retry_delay_read_s: f64,
-        retry_delay_write_s: f64,
-        max_retries: u32,
-    ) -> Self {
+    pub fn new(p: TimingParams) -> Self {
         for (v, what) in [
-            (read_overhead_s, "read overhead"),
-            (write_overhead_s, "write overhead"),
-            (seek_base_s, "seek base"),
-            (seek_full_stroke_s, "full-stroke seek"),
-            (retry_delay_read_s, "read retry delay"),
-            (retry_delay_write_s, "write retry delay"),
+            (p.read_overhead_s, "read overhead"),
+            (p.write_overhead_s, "write overhead"),
+            (p.seek_base_s, "seek base"),
+            (p.seek_full_stroke_s, "full-stroke seek"),
+            (p.retry_delay_read_s, "read retry delay"),
+            (p.retry_delay_write_s, "write retry delay"),
         ] {
             assert!(v.is_finite() && v >= 0.0, "{what} must be finite and >= 0");
         }
         assert!(
-            seek_full_stroke_s >= seek_base_s,
+            p.seek_full_stroke_s >= p.seek_base_s,
             "full-stroke seek cannot be shorter than track-to-track"
         );
-        assert!(max_retries > 0, "max_retries must be positive");
+        assert!(p.max_retries > 0, "max_retries must be positive");
         TimingModel {
-            read_overhead_s,
-            write_overhead_s,
-            seek_base_s,
-            seek_full_stroke_s,
-            retry_delay_read_s,
-            retry_delay_write_s,
-            max_retries,
+            read_overhead_s: p.read_overhead_s,
+            write_overhead_s: p.write_overhead_s,
+            seek_base_s: p.seek_base_s,
+            seek_full_stroke_s: p.seek_full_stroke_s,
+            retry_delay_read_s: p.retry_delay_read_s,
+            retry_delay_write_s: p.retry_delay_write_s,
+            max_retries: p.max_retries,
             write_cache: true,
         }
     }
@@ -106,15 +117,17 @@ impl TimingModel {
         // Solve overhead so that overhead + transfer hits the target.
         let read_total = 4_096.0 / 18.0e6;
         let write_total = 4_096.0 / 22.7e6;
-        TimingModel::new(
-            read_total - xfer_4k,
-            write_total - xfer_4k,
-            0.8e-3,             // track-to-track seek
-            17.0e-3,            // full stroke
-            0.25e-3,            // read retry: next servo opportunity
-            geo.revolution_s(), // write retry: full rotational realign
-            24,
-        )
+        TimingModel::new(TimingParams {
+            read_overhead_s: read_total - xfer_4k,
+            write_overhead_s: write_total - xfer_4k,
+            seek_base_s: 0.8e-3,
+            seek_full_stroke_s: 17.0e-3,
+            // Read retry: next servo opportunity; write retry: full
+            // rotational realign.
+            retry_delay_read_s: 0.25e-3,
+            retry_delay_write_s: geo.revolution_s(),
+            max_retries: 24,
+        })
     }
 
     /// Timing for the nearline enterprise drive: lower command overhead
@@ -123,15 +136,15 @@ impl TimingModel {
         let geo = DriveGeometry::nearline_4tb();
         let xfer_4k = 4_096.0 / geo.media_rate_bytes_per_s();
         // 4 KiB sync targets: 24 MB/s read, 30 MB/s write.
-        TimingModel::new(
-            4_096.0 / 24.0e6 - xfer_4k,
-            4_096.0 / 30.0e6 - xfer_4k,
-            0.6e-3,
-            14.0e-3,
-            0.25e-3,
-            geo.revolution_s(),
-            24,
-        )
+        TimingModel::new(TimingParams {
+            read_overhead_s: 4_096.0 / 24.0e6 - xfer_4k,
+            write_overhead_s: 4_096.0 / 30.0e6 - xfer_4k,
+            seek_base_s: 0.6e-3,
+            seek_full_stroke_s: 14.0e-3,
+            retry_delay_read_s: 0.25e-3,
+            retry_delay_write_s: geo.revolution_s(),
+            max_retries: 24,
+        })
     }
 
     /// Fixed per-command overhead for a read or write.
@@ -223,11 +236,11 @@ mod tests {
         let read_ms = t.sequential_op_s(&geo, 8, true) * 1e3;
         let write_ms = t.sequential_op_s(&geo, 8, false) * 1e3;
         assert!(
-            (read_ms * 10.0).round() / 10.0 == 0.2,
+            ((read_ms * 10.0).round() / 10.0 - 0.2).abs() < 1e-12,
             "read = {read_ms} ms"
         );
         assert!(
-            (write_ms * 10.0).round() / 10.0 == 0.2,
+            ((write_ms * 10.0).round() / 10.0 - 0.2).abs() < 1e-12,
             "write = {write_ms} ms"
         );
     }

@@ -149,6 +149,7 @@ impl ToleranceModel {
     /// # Panics
     ///
     /// Panics unless `0 < write_fraction <= read_fraction <= 1`.
+    // deepnote-lint: allow(raw-f64-params): dimensionless track-pitch fractions; the write<=read assert makes swapped (distinct) arguments fail fast at construction
     pub fn new(read_fraction: f64, write_fraction: f64) -> Self {
         assert!(
             write_fraction > 0.0 && write_fraction <= read_fraction && read_fraction <= 1.0,
@@ -191,6 +192,7 @@ impl ToleranceModel {
     /// off-track displacement of amplitude `offtrack_nm` stays inside the
     /// tolerance: 1 if the amplitude is within tolerance, otherwise
     /// `(2/π)·asin(tol/A)`.
+    // deepnote-lint: allow(raw-f64-params): both lengths are nanometres by crate-wide convention; a shared Nm newtype would not stop a transposition, and the _nm suffixes name the roles at every call site
     pub fn on_track_duty(&self, track_pitch_nm: f64, offtrack_nm: f64, read: bool) -> f64 {
         assert!(
             offtrack_nm.is_finite() && offtrack_nm >= 0.0,

@@ -9,7 +9,7 @@ use deepnote_blockdev::BlockDevice;
 use deepnote_fs::{Filesystem, FsError, JournalConfig};
 use deepnote_sim::{Clock, SimDuration};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An owned key-value pair, as returned by [`Db::scan`].
 pub type KvPair = (Vec<u8>, Vec<u8>);
@@ -98,7 +98,7 @@ pub struct Db<D: BlockDevice> {
     level0: Vec<String>,
     /// L1 file paths, sorted by key range, non-overlapping.
     level1: Vec<String>,
-    table_cache: HashMap<String, SsTable>,
+    table_cache: BTreeMap<String, SsTable>,
     next_file_no: u64,
     ops_since_sync: u64,
     crashed: bool,
@@ -141,7 +141,7 @@ impl<D: BlockDevice> Db<D> {
             wal: Wal::new(WAL_PATH, 0, config.wal_patience),
             level0: Vec::new(),
             level1: Vec::new(),
-            table_cache: HashMap::new(),
+            table_cache: BTreeMap::new(),
             next_file_no: 1,
             ops_since_sync: 0,
             crashed: false,
@@ -186,7 +186,7 @@ impl<D: BlockDevice> Db<D> {
             wal: Wal::new(WAL_PATH, durable_len, config.wal_patience),
             level0,
             level1,
-            table_cache: HashMap::new(),
+            table_cache: BTreeMap::new(),
             next_file_no,
             ops_since_sync: 0,
             crashed: false,

@@ -91,9 +91,15 @@ impl Record {
         if buf.len() < 12 {
             return Err(corrupt("truncated record header"));
         }
-        let stored_sum = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
-        let klen = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as usize;
-        let vlen_tag = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        let le_u32 = |at: usize| -> Result<u32, DbError> {
+            buf.get(at..at + 4)
+                .and_then(|s| s.try_into().ok())
+                .map(u32::from_le_bytes)
+                .ok_or_else(|| corrupt("truncated record header"))
+        };
+        let stored_sum = le_u32(0)?;
+        let klen = le_u32(4)? as usize;
+        let vlen_tag = le_u32(8)?;
         if klen > MAX_LEN {
             return Err(corrupt("key length out of range"));
         }

@@ -2,6 +2,8 @@
 //! sequences against a `BTreeMap` model, across flushes, compactions,
 //! batches, scans, and a full sync + crash + reopen cycle.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_blockdev::MemDisk;
 use deepnote_kv::{Db, DbConfig, WriteBatch};
 use deepnote_sim::{Clock, SimDuration};

@@ -1,0 +1,123 @@
+//! Machine-readable output.
+//!
+//! The workspace's `serde` is an offline no-op shim, so JSON is written
+//! by hand. The schema is stable and versioned; CI consumes it:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "files_scanned": 120,
+//!   "summary": { "errors": 0, "warnings": 2 },
+//!   "findings": [
+//!     { "rule": "panic-unwrap", "severity": "error",
+//!       "path": "crates/fs/src/fs.rs", "line": 41,
+//!       "message": "`.unwrap()` panics on the error path; …" }
+//!   ]
+//! }
+//! ```
+
+use crate::Report;
+use std::fmt::Write;
+
+/// Renders a report in the versioned JSON schema above.
+pub fn to_json(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(
+        s,
+        "  \"summary\": {{ \"errors\": {}, \"warnings\": {} }},",
+        report.errors(),
+        report.warnings()
+    );
+    s.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    { ");
+        let _ = write!(
+            s,
+            "\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"message\": {}",
+            escape(&f.rule),
+            escape(&f.severity.to_string()),
+            escape(&f.path),
+            f.line,
+            escape(&f.message)
+        );
+        s.push_str(" }");
+    }
+    if !report.findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// JSON string escaping per RFC 8259.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, Severity};
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_stable() {
+        let r = Report {
+            findings: vec![],
+            files_scanned: 3,
+        };
+        let j = to_json(&r);
+        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\"errors\": 0"));
+        assert!(j.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn findings_serialize_all_fields() {
+        let r = Report {
+            findings: vec![Finding {
+                rule: "float-eq".into(),
+                severity: Severity::Error,
+                path: "crates/hdd/src/timing.rs".into(),
+                line: 226,
+                message: "exact `==` against a float".into(),
+            }],
+            files_scanned: 1,
+        };
+        let j = to_json(&r);
+        for needle in [
+            "\"rule\": \"float-eq\"",
+            "\"severity\": \"error\"",
+            "\"path\": \"crates/hdd/src/timing.rs\"",
+            "\"line\": 226",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+}

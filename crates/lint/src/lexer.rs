@@ -1,0 +1,543 @@
+//! A self-contained Rust lexer.
+//!
+//! The workspace builds with no registry access, so `syn` is not
+//! available; the analyzer instead works on a token stream produced by
+//! this hand-rolled lexer. It understands everything the rules need to
+//! be sound on real code: nested block comments, raw strings with
+//! arbitrary hash counts, byte/char literals vs. lifetimes, raw
+//! identifiers, and float vs. integer literals — each token tagged with
+//! its 1-based source line.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `6.5e2`, `3f64`).
+    Float,
+    /// String, byte-string, raw-string, or C-string literal.
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation, possibly multi-character (`::`, `==`, `->`).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A comment, kept out of the token stream but retained for
+/// suppression-directive parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether the comment is the first non-whitespace on its line.
+    pub own_line: bool,
+}
+
+/// Multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes Rust source into (tokens, comments).
+///
+/// The lexer is intentionally forgiving: on genuinely malformed input it
+/// degrades to single-character punctuation tokens rather than erroring,
+/// which keeps the analyzer usable on files that do not yet compile.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Tracks whether anything other than whitespace appeared on the
+    // current line yet (for `Comment::own_line`).
+    let mut line_has_code = false;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    own_line: !line_has_code,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let own = !line_has_code;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                    own_line: own,
+                });
+                line_has_code = true;
+            }
+            b'"' => {
+                line_has_code = true;
+                let (tok, ni, nl) = lex_string(src, i, line);
+                toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' | b'c' if starts_prefixed_literal(b, i) => {
+                line_has_code = true;
+                let (tok, ni, nl) = lex_prefixed_literal(src, i, line);
+                toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                line_has_code = true;
+                let (tok, ni, nl) = lex_quote(src, i, line);
+                toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                line_has_code = true;
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                line_has_code = true;
+                let (tok, ni) = lex_number(src, i, line);
+                toks.push(tok);
+                i = ni;
+            }
+            _ => {
+                line_has_code = true;
+                let rest = &src[i..];
+                let mut matched = None;
+                for p in PUNCTS {
+                    if rest.starts_with(p) {
+                        matched = Some(*p);
+                        break;
+                    }
+                }
+                let text = match matched {
+                    Some(p) => p.to_string(),
+                    None => {
+                        // Single char (may be multi-byte UTF-8).
+                        let ch = rest.chars().next().unwrap_or('?');
+                        ch.to_string()
+                    }
+                };
+                i += text.len();
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                });
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Does `b[i..]` begin a prefixed literal (`r"`, `r#"`, `br"`, `b"`,
+/// `b'`, `c"`, `r#ident` counts as raw identifier, not a literal)?
+fn starts_prefixed_literal(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    match rest[0] {
+        b'b' => {
+            matches!(rest.get(1), Some(b'"') | Some(b'\''))
+                || (rest.get(1) == Some(&b'r') && matches!(rest.get(2), Some(b'"') | Some(b'#')))
+        }
+        b'r' | b'c' => match rest.get(1) {
+            Some(b'"') => true,
+            Some(b'#') => {
+                // `r#"` or `r##"` … is a raw string; `r#ident` is a raw
+                // identifier and must lex as Ident.
+                let mut j = 1;
+                while rest.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                rest.get(j) == Some(&b'"')
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Lexes an ordinary `"…"` string starting at `i`.
+fn lex_string(src: &str, i: usize, mut line: u32) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    let start = i;
+    let start_line = line;
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            b'"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: src[start..j.min(b.len())].to_string(),
+            line: start_line,
+        },
+        j.min(b.len()),
+        line,
+    )
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, `c"…"`.
+fn lex_prefixed_literal(src: &str, i: usize, line: u32) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i;
+    // Skip prefix letters (b, r, c combinations).
+    while j < b.len() && (b[j] == b'b' || b[j] == b'r' || b[j] == b'c') {
+        if b[j] == b'r' || b[j] == b'c' {
+            j += 1;
+            break;
+        }
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        // Byte literal b'…'.
+        let (mut tok, ni, nl) = lex_quote(src, j, line);
+        tok.text = src[i..ni].to_string();
+        tok.kind = TokKind::Char;
+        return (tok, ni, nl);
+    }
+    // Count hashes for raw strings.
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        // Not actually a literal; treat the first char as punctuation to
+        // make progress.
+        return (
+            Tok {
+                kind: TokKind::Punct,
+                text: src[i..i + 1].to_string(),
+                line,
+            },
+            i + 1,
+            line,
+        );
+    }
+    j += 1; // consume opening quote
+    let mut cur_line = line;
+    let raw = hashes > 0 || src[i..].starts_with('r') || src[i..].starts_with("br");
+    while j < b.len() {
+        match b[j] {
+            b'\n' => {
+                cur_line += 1;
+                j += 1;
+            }
+            b'\\' if !raw => j += 2,
+            b'"' => {
+                // Need `hashes` trailing #s to close a raw string.
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && k < b.len() && b[k] == b'#' {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    j = k;
+                    break;
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: src[i..j.min(b.len())].to_string(),
+            line,
+        },
+        j.min(b.len()),
+        cur_line,
+    )
+}
+
+/// Lexes a `'`-introduced token: lifetime or char literal.
+fn lex_quote(src: &str, i: usize, line: u32) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    let next = b.get(i + 1).copied();
+    let after = b.get(i + 2).copied();
+    let is_lifetime = match next {
+        Some(n) if n == b'_' || n.is_ascii_alphabetic() => after != Some(b'\''),
+        _ => false,
+    };
+    if is_lifetime {
+        let mut j = i + 1;
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        return (
+            Tok {
+                kind: TokKind::Lifetime,
+                text: src[i..j].to_string(),
+                line,
+            },
+            j,
+            line,
+        );
+    }
+    // Char literal, possibly escaped ('\n', '\u{1F4A9}', '\'').
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => {
+                j += 1;
+                break;
+            }
+            b'\n' => break, // malformed; stop at end of line
+            _ => j += 1,
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Char,
+            text: src[i..j.min(b.len())].to_string(),
+            line,
+        },
+        j.min(b.len()),
+        line,
+    )
+}
+
+/// Lexes a numeric literal, classifying float vs. integer.
+fn lex_number(src: &str, i: usize, line: u32) -> (Tok, usize) {
+    let b = src.as_bytes();
+    let mut j = i;
+    let mut is_float = false;
+
+    if b[j] == b'0' && matches!(b.get(j + 1), Some(b'x') | Some(b'o') | Some(b'b')) {
+        j += 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (
+            Tok {
+                kind: TokKind::Int,
+                text: src[i..j].to_string(),
+                line,
+            },
+            j,
+        );
+    }
+
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fractional part: `.` followed by a digit, or a trailing `.` that is
+    // neither a range (`..`) nor a method call (`.ident`).
+    if j < b.len() && b[j] == b'.' {
+        match b.get(j + 1) {
+            Some(d) if d.is_ascii_digit() => {
+                is_float = true;
+                j += 1;
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                    j += 1;
+                }
+            }
+            Some(b'.') => {}
+            Some(c) if c.is_ascii_alphabetic() || *c == b'_' => {}
+            _ => {
+                is_float = true;
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < b.len() && (b[j] == b'e' || b[j] == b'E') {
+        let mut k = j + 1;
+        if matches!(b.get(k), Some(b'+') | Some(b'-')) {
+            k += 1;
+        }
+        if matches!(b.get(k), Some(d) if d.is_ascii_digit()) {
+            is_float = true;
+            j = k;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (f64, u32, usize…).
+    if j < b.len() && (b[j].is_ascii_alphabetic() || b[j] == b'_') {
+        let sfx_start = j;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        if src[sfx_start..j].starts_with('f') {
+            is_float = true;
+        }
+    }
+    (
+        Tok {
+            kind: if is_float {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            },
+            text: src[i..j].to_string(),
+            line,
+        },
+        j,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).0.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("fn main() { a::b == c }");
+        assert_eq!(t[0], (TokKind::Ident, "fn".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Punct && s == "::"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Punct && s == "=="));
+    }
+
+    #[test]
+    fn float_vs_int() {
+        let t = kinds("1 1.0 1e3 0x10 2.5f64 3f64 1_000 7.");
+        let floats: Vec<_> = t.iter().filter(|(k, _)| *k == TokKind::Float).collect();
+        assert_eq!(floats.len(), 5, "{t:?}");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Int && s == "0x10"));
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_float() {
+        let t = kinds("1.min(2) 0..4");
+        assert_eq!(t[0], (TokKind::Int, "1".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Punct && s == ".."));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("'a 'static 'x' '\\n' b'z'");
+        assert_eq!(t[0].0, TokKind::Lifetime);
+        assert_eq!(t[1].0, TokKind::Lifetime);
+        assert_eq!(t[2].0, TokKind::Char);
+        assert_eq!(t[3].0, TokKind::Char);
+        assert_eq!(t[4].0, TokKind::Char);
+    }
+
+    #[test]
+    fn strings_absorb_fake_tokens() {
+        let t = kinds(r#"let s = "HashMap == 1.0"; x"#);
+        assert!(!t.iter().any(|(_, s)| s == "HashMap"));
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let t = kinds(r##"r"\" r#type r#"quote " inside"# b"bytes""##);
+        let strs = t.iter().filter(|(k, _)| *k == TokKind::Str).count();
+        assert_eq!(strs, 3, "{t:?}");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "type"));
+    }
+
+    #[test]
+    fn comments_extracted_with_position() {
+        let (toks, comments) = lex("let a = 1; // trailing\n// own line\nlet b = 2;");
+        assert_eq!(comments.len(), 2);
+        assert!(!comments[0].own_line);
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[1].own_line);
+        assert_eq!(comments[1].line, 2);
+        assert_eq!(toks.last().map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* a /* b */ c */ fn");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(toks.len(), 1);
+    }
+
+    #[test]
+    fn lines_tracked_through_multiline_strings() {
+        let (toks, _) = lex("let s = \"a\nb\nc\";\nfn");
+        assert_eq!(toks.last().map(|t| t.line), Some(4));
+    }
+}

@@ -1,0 +1,112 @@
+//! `float-eq`: no `==`/`!=` against float values outside tests.
+//!
+//! After a propagation chain of logs, powers, and attenuation products,
+//! two floats that are "the same number" rarely compare equal; exact
+//! comparison either works by accident or introduces a
+//! platform-dependent branch — the worst kind of nondeterminism to
+//! debug. Compare with an explicit epsilon, or suppress with a
+//! justification when the value is a true sentinel (e.g. an exact `0.0`
+//! that was assigned, never computed).
+//!
+//! Detection is token-local: the rule fires when either operand
+//! adjacent to `==`/`!=` is a float literal (`0.0`, `1e-3`), a unary
+//! minus before one, or a `f64::CONST` (INFINITY, NAN, EPSILON…). That
+//! catches the real sites without attempting full type inference.
+
+use super::{Rule, DETERMINISM_CRATES};
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// See module docs.
+pub struct FloatEq;
+
+const FLOAT_CONSTS: &[&str] = &[
+    "INFINITY",
+    "NEG_INFINITY",
+    "NAN",
+    "EPSILON",
+    "MAX",
+    "MIN",
+    "MIN_POSITIVE",
+];
+
+impl Rule for FloatEq {
+    fn id(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn description(&self) -> &'static str {
+        "exact ==/!= on floats is brittle; compare with an epsilon"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        DETERMINISM_CRATES.contains(&file.crate_name.as_str())
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.is_test_code(i) {
+                continue;
+            }
+            let op = &toks[i];
+            if !(op.is_punct("==") || op.is_punct("!=")) {
+                continue;
+            }
+            let lhs_float = i > 0 && is_float_operand_end(toks, i - 1);
+            let rhs_float = is_float_operand_start(toks, i + 1);
+            if lhs_float || rhs_float {
+                out.push(Finding::new(
+                    self,
+                    file,
+                    op.line,
+                    format!(
+                        "exact `{}` against a float; use an epsilon \
+                         comparison (or justify an allow for a true sentinel)",
+                        op.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Does the operand *ending* at token `i` look like a float?
+/// Matches `… 1.0 ==` and `… f64::INFINITY ==`.
+fn is_float_operand_end(toks: &[Tok], i: usize) -> bool {
+    if toks[i].kind == TokKind::Float {
+        return true;
+    }
+    if toks[i].kind == TokKind::Ident
+        && FLOAT_CONSTS.contains(&toks[i].text.as_str())
+        && i >= 2
+        && toks[i - 1].is_punct("::")
+        && (toks[i - 2].is_ident("f64") || toks[i - 2].is_ident("f32"))
+    {
+        return true;
+    }
+    false
+}
+
+/// Does the operand *starting* at token `i` look like a float?
+/// Matches `== 1.0`, `== -1.0`, and `== f64::NAN`.
+fn is_float_operand_start(toks: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    if toks.get(j).is_some_and(|t| t.is_punct("-")) {
+        j += 1;
+    }
+    match toks.get(j) {
+        Some(t) if t.kind == TokKind::Float => true,
+        Some(t)
+            if (t.is_ident("f64") || t.is_ident("f32"))
+                && toks.get(j + 1).is_some_and(|n| n.is_punct("::"))
+                && toks
+                    .get(j + 2)
+                    .is_some_and(|n| FLOAT_CONSTS.contains(&n.text.as_str())) =>
+        {
+            true
+        }
+        _ => false,
+    }
+}

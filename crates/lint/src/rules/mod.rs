@@ -1,0 +1,76 @@
+//! The rule registry and crate-scoping tables.
+//!
+//! Every rule is a pure pass over one file's token stream; scoping —
+//! which crates a rule polices, and whether test code is exempt — is
+//! decided here so individual rules stay small.
+
+mod float_eq;
+mod nondet_clock;
+mod nondet_collection;
+mod nondet_rng;
+mod panic_unwrap;
+mod raw_f64_params;
+
+pub use float_eq::FloatEq;
+pub use nondet_clock::NondetClock;
+pub use nondet_collection::NondetCollection;
+pub use nondet_rng::NondetRng;
+pub use panic_unwrap::PanicUnwrap;
+pub use raw_f64_params::RawF64Params;
+
+use crate::source::SourceFile;
+use crate::{Finding, Severity};
+
+/// Crates whose behaviour must be a pure function of the seed: the
+/// whole simulation pipeline from physics to cluster.
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "sim",
+    "acoustics",
+    "structures",
+    "hdd",
+    "blockdev",
+    "fs",
+    "kv",
+    "os",
+    "iobench",
+    "core",
+    "cluster",
+];
+
+/// Crates whose library code must not panic: everything on the serving
+/// path of the cluster (a panicking storage node is an availability
+/// bug indistinguishable from the acoustic attack it simulates).
+pub const PANIC_FREE_CRATES: &[&str] = &["acoustics", "hdd", "blockdev", "fs", "kv", "cluster"];
+
+/// Crates whose public APIs carry physical quantities and must use the
+/// `units.rs` newtypes instead of adjacent raw `f64`s.
+pub const UNIT_SAFE_CRATES: &[&str] = &["acoustics", "hdd"];
+
+/// One static-analysis rule.
+pub trait Rule {
+    /// Stable id used in diagnostics and `allow(...)` directives.
+    fn id(&self) -> &'static str;
+    /// Diagnostic severity; only `Error` findings fail the run.
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    /// One-line description for `deepnote-lint rules`.
+    fn description(&self) -> &'static str;
+    /// Whether this rule polices `file` at all.
+    fn applies(&self, file: &SourceFile) -> bool;
+    /// Emits findings for `file` (suppressions are applied by the
+    /// engine, not here).
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// All rules, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NondetCollection),
+        Box::new(NondetClock),
+        Box::new(NondetRng),
+        Box::new(PanicUnwrap),
+        Box::new(RawF64Params),
+        Box::new(FloatEq),
+    ]
+}

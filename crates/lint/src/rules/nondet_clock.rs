@@ -1,0 +1,54 @@
+//! `nondet-clock`: no wall-clock reads in simulation crates.
+//!
+//! Simulated time comes from `deepnote_sim::SimTime`; reading the host
+//! clock (`Instant::now`, `SystemTime::now`) injects real-world timing
+//! into results that must replay bit-identically from a seed.
+
+use super::{Rule, DETERMINISM_CRATES};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// See module docs.
+pub struct NondetClock;
+
+const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+impl Rule for NondetClock {
+    fn id(&self) -> &'static str {
+        "nondet-clock"
+    }
+
+    fn description(&self) -> &'static str {
+        "Instant::now/SystemTime::now read the host clock; simulation code must use SimTime"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        DETERMINISM_CRATES.contains(&file.crate_name.as_str())
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // Pattern: `Instant :: now` / `SystemTime :: now`. Tests and
+        // benches may time themselves; simulation results may not.
+        for (i, w) in file.tokens.windows(3).enumerate() {
+            if file.is_test_code(i) {
+                continue;
+            }
+            let ty = &w[0];
+            if CLOCK_TYPES.iter().any(|t| ty.is_ident(t))
+                && w[1].is_punct("::")
+                && w[2].is_ident("now")
+            {
+                out.push(Finding::new(
+                    self,
+                    file,
+                    ty.line,
+                    format!(
+                        "`{}::now()` reads the host clock; thread simulated \
+                         time (`SimTime`) through instead",
+                        ty.text
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! `nondet-collection`: no `HashMap`/`HashSet` in simulation crates.
+//!
+//! `std::collections::HashMap` iterates in randomized order (SipHash
+//! keyed per-process), so any code path that iterates one — directly or
+//! three refactors from now — silently breaks the "deterministic per
+//! seed" invariant. Rather than try to prove which maps are iterated,
+//! the rule bans the types outright in simulation crates and points at
+//! `BTreeMap`/`BTreeSet`, whose iteration order is total and stable.
+
+use super::{Rule, DETERMINISM_CRATES};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// See module docs.
+pub struct NondetCollection;
+
+const BANNED: &[(&str, &str)] = &[("HashMap", "BTreeMap"), ("HashSet", "BTreeSet")];
+
+impl Rule for NondetCollection {
+    fn id(&self) -> &'static str {
+        "nondet-collection"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet iterate in randomized order; simulation crates must use BTreeMap/BTreeSet"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        DETERMINISM_CRATES.contains(&file.crate_name.as_str())
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for (i, tok) in file.tokens.iter().enumerate() {
+            if file.is_test_code(i) {
+                continue;
+            }
+            for (banned, replacement) in BANNED {
+                if tok.is_ident(banned) {
+                    out.push(Finding::new(
+                        self,
+                        file,
+                        tok.line,
+                        format!(
+                            "`{banned}` has nondeterministic iteration order; \
+                             use `{replacement}` (or a sorted Vec) so runs are \
+                             identical per seed"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

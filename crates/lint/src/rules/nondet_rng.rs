@@ -1,0 +1,87 @@
+//! `nondet-rng`: no entropy-seeded randomness in simulation crates.
+//!
+//! Every random stream must descend from the experiment's root seed
+//! (`SimRng::seed_from_u64` and deliberate sub-stream derivation);
+//! `thread_rng()`, `from_entropy()`, `rand::random()` and OS-seeded
+//! `Default` RNG constructors all pull from the environment and destroy
+//! replayability.
+
+use super::{Rule, DETERMINISM_CRATES};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// See module docs.
+pub struct NondetRng;
+
+/// Free functions / constructors that seed from the environment.
+const BANNED_CALLS: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "os_rng"];
+
+/// RNG type names for which an argument-less `::default()` is entropy
+/// seeding in disguise.
+const RNG_TYPES: &[&str] = &["SimRng", "StdRng", "SmallRng", "ThreadRng", "OsRng"];
+
+impl Rule for NondetRng {
+    fn id(&self) -> &'static str {
+        "nondet-rng"
+    }
+
+    fn description(&self) -> &'static str {
+        "thread_rng/from_entropy/random()/RNG::default() seed from the environment; derive from the root seed"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        DETERMINISM_CRATES.contains(&file.crate_name.as_str())
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.is_test_code(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if BANNED_CALLS.iter().any(|c| t.is_ident(c)) {
+                out.push(Finding::new(
+                    self,
+                    file,
+                    t.line,
+                    format!(
+                        "`{}` seeds from the environment; derive every RNG \
+                         from the experiment's root seed instead",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            // `rand :: random`
+            if t.is_ident("rand")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("random"))
+            {
+                out.push(Finding::new(
+                    self,
+                    file,
+                    t.line,
+                    "`rand::random()` is thread-RNG backed; derive from the root seed".to_string(),
+                ));
+            }
+            // `SimRng :: default ( )` and friends.
+            if RNG_TYPES.iter().any(|r| t.is_ident(r))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("default"))
+                && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+            {
+                out.push(Finding::new(
+                    self,
+                    file,
+                    t.line,
+                    format!(
+                        "`{}::default()` hides the seed; construct with an \
+                         explicit `seed_from_u64` so the stream is replayable",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! `panic-unwrap`: no panicking shortcuts in serving-path library code.
+//!
+//! A panic in `fs`/`kv`/`cluster` library code takes down a simulated
+//! storage node the same way the acoustic attack does — except it is a
+//! bug, not a result. Library code in the serving-path crates must
+//! plumb `Result` through the existing error types; `unwrap`, `expect`,
+//! `panic!`, `todo!`, `unimplemented!` are reserved for tests, benches,
+//! examples, and binaries.
+//!
+//! Deliberate invariant checks stay possible two ways: `assert!`-family
+//! macros are not flagged (they document invariants rather than discard
+//! errors), and genuinely-unreachable arms can carry a
+//! `// deepnote-lint: allow(panic-unwrap): <why>` justification.
+
+use super::{Rule, PANIC_FREE_CRATES};
+use crate::source::{FileKind, SourceFile};
+use crate::Finding;
+
+/// See module docs.
+pub struct PanicUnwrap;
+
+/// `.unwrap()` / `.expect(` method calls.
+const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Panicking macros. `unreachable!` is included: if an arm really is
+/// unreachable, say why in an allow-justification.
+const BANNED_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+impl Rule for PanicUnwrap {
+    fn id(&self) -> &'static str {
+        "panic-unwrap"
+    }
+
+    fn description(&self) -> &'static str {
+        "serving-path library code must return Result, not unwrap/expect/panic!/todo!"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        PANIC_FREE_CRATES.contains(&file.crate_name.as_str()) && file.kind == FileKind::Lib
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.is_test_code(i) {
+                continue;
+            }
+            let t = &toks[i];
+            // `.unwrap()` / `.expect(...)`: require the preceding dot so
+            // a local `fn unwrap` or ident does not trip the rule, and
+            // the following `(` so field accesses stay legal.
+            if BANNED_METHODS.iter().any(|m| t.is_ident(m))
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            {
+                out.push(Finding::new(
+                    self,
+                    file,
+                    t.line,
+                    format!(
+                        "`.{}()` panics on the error path; plumb the error \
+                         through this crate's Result type",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            // `panic!(` etc.
+            if BANNED_MACROS.iter().any(|m| t.is_ident(m))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| n.is_punct("(") || n.is_punct("[") || n.is_punct("{"))
+            {
+                out.push(Finding::new(
+                    self,
+                    file,
+                    t.line,
+                    format!(
+                        "`{}!` in library code crashes the simulated node; \
+                         return an error instead",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! `raw-f64-params`: public physics APIs must use unit newtypes.
+//!
+//! `fn spl(freq: f64, dist: f64)` is the exact API shape that caused
+//! the classic dB-re-1µPa vs dB-SPL and Hz vs kHz mixups the paper's
+//! attack physics depends on getting right. Two adjacent raw `f64`
+//! parameters on a public function are silently swappable at every
+//! call site; `Frequency`/`Distance`/`Spl`-style newtypes make the
+//! mistake a type error. A single raw `f64` (a ratio, a gain) is fine —
+//! the rule fires only when two or more raw `f64`s sit side by side.
+
+use super::{Rule, UNIT_SAFE_CRATES};
+use crate::lexer::Tok;
+use crate::source::{FileKind, SourceFile};
+use crate::Finding;
+
+/// See module docs.
+pub struct RawF64Params;
+
+impl Rule for RawF64Params {
+    fn id(&self) -> &'static str {
+        "raw-f64-params"
+    }
+
+    fn description(&self) -> &'static str {
+        "public acoustics/hdd fns must not take >=2 adjacent raw f64 params; use unit newtypes"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        UNIT_SAFE_CRATES.contains(&file.crate_name.as_str()) && file.kind == FileKind::Lib
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        let mut i = 0usize;
+        while i < toks.len() {
+            if !toks[i].is_ident("pub") || file.is_test_code(i) {
+                i += 1;
+                continue;
+            }
+            // Skip restricted visibility `pub(crate)` / `pub(in path)`.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    if toks[j].is_punct("(") {
+                        depth += 1;
+                    } else if toks[j].is_punct(")") {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // Skip qualifiers.
+            while toks
+                .get(j)
+                .is_some_and(|t| t.is_ident("const") || t.is_ident("async") || t.is_ident("unsafe"))
+            {
+                j += 1;
+            }
+            if !toks.get(j).is_some_and(|t| t.is_ident("fn")) {
+                i += 1;
+                continue;
+            }
+            let Some(name) = toks.get(j + 1) else { break };
+            let fn_name = name.text.clone();
+            let fn_line = name.line;
+            j += 2;
+            // Skip generics `<...>` (tolerating `>>` closing two).
+            if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        ">>" => depth -= 2,
+                        _ => {}
+                    }
+                    j += 1;
+                    if depth <= 0 {
+                        break;
+                    }
+                }
+            }
+            if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
+                i = j;
+                continue;
+            }
+            // Collect the parameter list span.
+            let open = j;
+            let mut depth = 0i32;
+            let mut close = open;
+            while close < toks.len() {
+                if toks[close].is_punct("(") || toks[close].is_punct("[") {
+                    depth += 1;
+                } else if toks[close].is_punct(")") || toks[close].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                close += 1;
+            }
+            let raw_runs = adjacent_f64_runs(&toks[open + 1..close]);
+            for run in raw_runs {
+                out.push(Finding::new(
+                    self,
+                    file,
+                    fn_line,
+                    format!(
+                        "pub fn `{fn_name}` takes {run} adjacent raw `f64` \
+                         parameters — swappable at every call site; use the \
+                         unit newtypes (Frequency, Distance, Spl, …)"
+                    ),
+                ));
+            }
+            i = close + 1;
+        }
+    }
+}
+
+/// Splits a parameter-list token span at top-level commas and counts
+/// maximal runs of >=2 consecutive parameters whose type is exactly
+/// `f64`. Returns one entry per run (its length).
+fn adjacent_f64_runs(params: &[Tok]) -> Vec<usize> {
+    let mut runs = Vec::new();
+    let mut current = 0usize;
+    let mut start = 0usize;
+    let mut depth = 0i32;
+    let mut spans: Vec<&[Tok]> = Vec::new();
+    for (k, t) in params.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            ">>" => depth -= 2,
+            "," if depth <= 0 => {
+                spans.push(&params[start..k]);
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < params.len() {
+        spans.push(&params[start..]);
+    }
+    for span in spans {
+        if param_is_raw_f64(span) {
+            current += 1;
+        } else {
+            if current >= 2 {
+                runs.push(current);
+            }
+            current = 0;
+        }
+    }
+    if current >= 2 {
+        runs.push(current);
+    }
+    runs
+}
+
+/// Is this single-parameter span `pattern: f64` (type exactly `f64`)?
+fn param_is_raw_f64(span: &[Tok]) -> bool {
+    // Find the top-level `:` separating pattern from type. `self`
+    // params and malformed spans have none.
+    let mut depth = 0i32;
+    for (k, t) in span.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            ":" if depth == 0 => {
+                let ty: Vec<&str> = span[k + 1..].iter().map(|t| t.text.as_str()).collect();
+                return ty == ["f64"];
+            }
+            _ => {}
+        }
+    }
+    false
+}

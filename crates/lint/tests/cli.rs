@@ -1,0 +1,104 @@
+//! CLI contract: exit codes, human and JSON output, `rules` listing.
+//!
+//! Exit codes are load-bearing — CI keys off them: 0 clean (warnings
+//! allowed), 1 error-severity findings, 2 usage error.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_deepnote-lint"))
+        .args(args)
+        .output()
+        .expect("spawn deepnote-lint")
+}
+
+#[test]
+fn seeded_violations_exit_one() {
+    let out = lint(&["check", "--root", &fixture("bad")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("error: crates/kv/src/store.rs:4: [panic-unwrap]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("deepnote-lint: 4 files, 7 errors, 0 warnings"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let out = lint(&["check", "--root", &fixture("clean")]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1 files, 0 errors, 0 warnings"), "{stdout}");
+}
+
+#[test]
+fn warnings_do_not_fail_the_run() {
+    let out = lint(&["check", "--root", &fixture("suppressed")]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("[unused-suppression]"), "{stdout}");
+    assert!(stdout.contains("0 errors, 1 warnings"), "{stdout}");
+}
+
+#[test]
+fn json_mode_emits_schema() {
+    let out = lint(&["check", "--json", "--root", &fixture("bad")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("{\n"), "{stdout}");
+    assert!(stdout.contains("\"version\": 1"), "{stdout}");
+    assert!(
+        stdout.contains("\"summary\": { \"errors\": 7, \"warnings\": 0 }"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn rules_subcommand_lists_every_rule() {
+    let out = lint(&["rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for rule in [
+        "nondet-collection",
+        "nondet-clock",
+        "nondet-rng",
+        "panic-unwrap",
+        "raw-f64-params",
+        "float-eq",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(lint(&[]).status.code(), Some(2));
+    assert_eq!(lint(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(lint(&["check", "--root"]).status.code(), Some(2));
+    assert_eq!(lint(&["check", "--bogus"]).status.code(), Some(2));
+}
+
+#[test]
+fn empty_root_scans_nothing_and_passes() {
+    // A root with none of crates/, tests/, xtests/, examples/ simply has
+    // nothing to check; that is a pass, not an I/O error.
+    let out = lint(&["check", "--root", &fixture("does-not-exist")]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 files, 0 errors, 0 warnings"), "{stdout}");
+}

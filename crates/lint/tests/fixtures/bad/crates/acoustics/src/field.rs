@@ -1,0 +1,8 @@
+//! Seeded unit-safety and float-discipline violations.
+
+pub fn spl_at(freq_hz: f64, range_m: f64) -> f64 {
+    if freq_hz == 0.0 {
+        return 0.0;
+    }
+    freq_hz.log10() * range_m
+}

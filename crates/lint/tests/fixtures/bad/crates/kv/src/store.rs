@@ -1,0 +1,5 @@
+//! Seeded panic-freedom violation: serving-path library code unwraps.
+
+pub fn head(xs: &[u8]) -> u8 {
+    *xs.first().unwrap()
+}

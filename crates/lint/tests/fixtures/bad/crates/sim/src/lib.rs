@@ -1,0 +1,18 @@
+//! Seeded determinism violations for the integration tests.
+//!
+//! This file is never compiled; the lint test suite points
+//! `check_workspace` at the fixture root and asserts on the findings.
+
+use std::collections::HashMap;
+
+pub fn census(seen: &HashMap<u32, u32>) -> usize {
+    seen.len()
+}
+
+pub fn stamp_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}
+
+pub fn dice() -> u64 {
+    rand::thread_rng().next_u64()
+}

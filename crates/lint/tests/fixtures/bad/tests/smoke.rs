@@ -1,0 +1,6 @@
+//! Root-level test file: panic shortcuts are exempt here.
+
+#[test]
+fn boots() {
+    assert_eq!(std::hint::black_box(1u8).checked_add(1).unwrap(), 2);
+}

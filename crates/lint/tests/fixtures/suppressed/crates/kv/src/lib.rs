@@ -1,0 +1,11 @@
+//! A justified allow plus a stale directive.
+
+pub fn head(xs: &[u8]) -> u8 {
+    // deepnote-lint: allow(panic-unwrap): fixture exercises a justified allow
+    *xs.first().unwrap()
+}
+
+// deepnote-lint: allow(float-eq): stale on purpose; must surface as a warning
+pub fn id(x: u8) -> u8 {
+    x
+}

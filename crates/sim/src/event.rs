@@ -8,8 +8,8 @@
 use crate::clock::Clock;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
+use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Identifier of a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -90,7 +90,7 @@ impl Ord for Scheduled<'_> {
 pub struct EventQueue<'a> {
     clock: Clock,
     heap: BinaryHeap<Reverse<Scheduled<'a>>>,
-    cancelled: HashSet<EventId>,
+    cancelled: BTreeSet<EventId>,
     next_seq: u64,
     next_id: u64,
 }
@@ -110,7 +110,7 @@ impl<'a> EventQueue<'a> {
         EventQueue {
             clock,
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
             next_id: 0,
         }

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release -p deepnote-core --example adaptive_attacker`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_core::experiments::adaptive;
 use deepnote_core::prelude::*;
 

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release -p deepnote-cluster --example cluster_attack`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_cluster::prelude::*;
 use deepnote_sim::SimDuration;
 

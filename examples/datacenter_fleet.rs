@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release -p deepnote-core --example datacenter_fleet`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_core::fleet::{Fleet, Impact};
 use deepnote_core::prelude::*;
 

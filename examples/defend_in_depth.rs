@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release -p deepnote-core --example defend_in_depth`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_core::detect::{AttackDetector, Verdict};
 use deepnote_core::experiments::{redundancy, stealth};
 use deepnote_core::prelude::*;

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release -p deepnote-core --example defense_eval`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_core::defense;
 use deepnote_core::prelude::*;
 use deepnote_core::report;

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release -p deepnote-core --example quickstart`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_core::prelude::*;
 use deepnote_iobench::{run_job, JobSpec};
 

@@ -2,6 +2,8 @@
 //!
 //! Run with: `cargo run --release -p deepnote-core --example range_attack`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_core::experiments::range;
 use deepnote_core::report;
 

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release -p deepnote-core --example water_conditions`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_core::experiments::ablations;
 use deepnote_core::report;
 

@@ -6,6 +6,8 @@
 //! attack; replicas co-located in the blast radius lose whole shards
 //! until the drives come back.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_cluster::prelude::*;
 use deepnote_sim::SimDuration;
 
@@ -19,7 +21,7 @@ fn duel_config(placement: PlacementPolicy) -> CampaignConfig {
 
 #[test]
 fn separated_replicas_serve_quorum_traffic_through_the_attack() {
-    let report = run_campaign(&duel_config(PlacementPolicy::Separated));
+    let report = run_campaign(&duel_config(PlacementPolicy::Separated)).expect("campaign");
     let baseline = report.metrics.phase("baseline").unwrap();
     let attack = report.metrics.phase("attack").unwrap();
     let recovery = report.metrics.phase("recovery").unwrap();
@@ -54,7 +56,7 @@ fn separated_replicas_serve_quorum_traffic_through_the_attack() {
 
 #[test]
 fn colocated_replicas_lose_availability_during_the_attack() {
-    let report = run_campaign(&duel_config(PlacementPolicy::CoLocated));
+    let report = run_campaign(&duel_config(PlacementPolicy::CoLocated)).expect("campaign");
     let baseline = report.metrics.phase("baseline").unwrap();
     let attack = report.metrics.phase("attack").unwrap();
     assert!(
@@ -79,14 +81,15 @@ fn colocated_replicas_lose_availability_during_the_attack() {
 
 #[test]
 fn campaign_reports_are_deterministic_for_a_fixed_seed() {
-    let a = run_campaign(&duel_config(PlacementPolicy::Separated));
-    let b = run_campaign(&duel_config(PlacementPolicy::Separated));
+    let a = run_campaign(&duel_config(PlacementPolicy::Separated)).expect("campaign");
+    let b = run_campaign(&duel_config(PlacementPolicy::Separated)).expect("campaign");
     assert_eq!(a.render(), b.render());
     assert_eq!(a.events, b.events);
     let c = run_campaign(&CampaignConfig {
         seed: 0xDEAD_BEEF,
         ..duel_config(PlacementPolicy::Separated)
-    });
+    })
+    .expect("campaign");
     // A different seed still serves, even if the interleaving differs.
     assert!(c.metrics.phase("baseline").unwrap().success_ratio() > 0.99);
 }

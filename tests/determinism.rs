@@ -1,7 +1,10 @@
 //! Reproducibility: the whole evaluation is deterministic — two runs of
 //! any harness produce bit-identical results.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_acoustics::{Distance, SweepPlan};
+use deepnote_cluster::prelude::*;
 use deepnote_core::experiments::{crash, frequency, range};
 use deepnote_core::prelude::*;
 use deepnote_kv::bench::BenchSpec;
@@ -43,6 +46,48 @@ fn crash_times_are_deterministic() {
     let a = crash::ext4_crash(&testbed);
     let b = crash::ext4_crash(&testbed);
     assert_eq!(a.time_to_crash_s, b.time_to_crash_s);
+}
+
+#[test]
+fn cluster_campaign_is_deterministic_per_seed() {
+    // The full distributed stack — quorum serving, failure detection,
+    // failover, re-replication — replays operation for operation under a
+    // fixed seed: the serialized reports are byte-identical, down to the
+    // timestamped control-plane event log.
+    let config = || {
+        let mut c =
+            CampaignConfig::paper_duel(PlacementPolicy::CoLocated, SimDuration::from_secs(30));
+        c.workload.num_keys = 240;
+        c.workload.clients = 4;
+        c
+    };
+    let a = run_campaign(&config()).expect("campaign");
+    let b = run_campaign(&config()).expect("campaign");
+    assert_eq!(a.render().into_bytes(), b.render().into_bytes());
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.repair, b.repair);
+    assert_eq!(a.max_unavailable_by_phase, b.max_unavailable_by_phase);
+    // The duel summary (both placements side by side) is deterministic
+    // too, through the parallel matrix runner.
+    let duel = |placement| {
+        let mut c = CampaignConfig::paper_duel(placement, SimDuration::from_secs(30));
+        c.workload.num_keys = 240;
+        c.workload.clients = 4;
+        c
+    };
+    let matrix = || -> Vec<CampaignReport> {
+        run_matrix(vec![
+            duel(PlacementPolicy::Separated),
+            duel(PlacementPolicy::CoLocated),
+        ])
+        .into_iter()
+        .map(|r| r.expect("matrix run"))
+        .collect()
+    };
+    assert_eq!(
+        render_duel(&matrix()).into_bytes(),
+        render_duel(&matrix()).into_bytes()
+    );
 }
 
 #[test]

@@ -1,6 +1,8 @@
 //! End-to-end integration: the acoustic chain drives the mechanical
 //! drive, which starves the filesystem, OS, and database above it.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_blockdev::HddDisk;
 use deepnote_core::prelude::*;
 use deepnote_fs::{Filesystem, FsState};

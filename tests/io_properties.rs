@@ -1,6 +1,8 @@
 //! I/O-pattern assertions through the trace device: properties of *how*
 //! the stack talks to the disk, not just what ends up on it.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_blockdev::{MemDisk, TraceDevice, TraceKind};
 use deepnote_fs::{Filesystem, FS_BLOCK_SIZE};
 use deepnote_iobench::{parse_jobfile, run_job};

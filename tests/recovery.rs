@@ -3,6 +3,8 @@
 //! consistent state (journal replay, WAL replay), and committed data
 //! survives.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_blockdev::{BlockDevice, HddDisk, MemDisk};
 use deepnote_core::prelude::*;
 use deepnote_fs::{Filesystem, FsState};

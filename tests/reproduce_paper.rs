@@ -2,6 +2,8 @@
 //! paper, checked for shape (and, where the model is calibrated, for
 //! near-exact values).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use deepnote_acoustics::{Distance, SweepPlan};
 use deepnote_core::experiments::{crash, frequency, range};
 use deepnote_kv::bench::BenchSpec;
