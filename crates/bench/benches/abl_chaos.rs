@@ -1,0 +1,46 @@
+//! ABL-CHAOS: what the defense stack costs — the same chaos campaign
+//! with and without end-to-end checksums, scrubbing, read repair, and
+//! the resilient client, so the overhead of integrity is a number, not
+//! a guess.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_cluster::prelude::*;
+use deepnote_sim::SimDuration;
+use std::hint::black_box;
+
+fn short_pair() -> (CampaignConfig, CampaignConfig) {
+    let (mut hardened, mut naive) = CampaignConfig::chaos_pair(
+        PlacementPolicy::Separated,
+        SimDuration::from_secs(30),
+        &ChaosProfile::full(),
+    );
+    for c in [&mut hardened, &mut naive] {
+        c.workload.num_keys = 240;
+        c.workload.clients = 4;
+    }
+    (hardened, naive)
+}
+
+fn bench(c: &mut Criterion) {
+    let (hardened, naive) = short_pair();
+    let reports: Vec<_> = run_matrix(vec![hardened.clone(), naive.clone()])
+        .into_iter()
+        .map(|r| r.expect("campaign run"))
+        .collect();
+    println!("\n{}", render_duel(&reports));
+    c.bench_function("abl_chaos/campaign_hardened", |b| {
+        b.iter(|| black_box(run_campaign(&hardened)))
+    });
+    c.bench_function("abl_chaos/campaign_naive", |b| {
+        b.iter(|| black_box(run_campaign(&naive)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

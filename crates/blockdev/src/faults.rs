@@ -1,9 +1,19 @@
 //! Deterministic fault injection.
 //!
 //! [`FaultInjector`] wraps any [`BlockDevice`] and fails requests
-//! according to a [`FaultPlan`] — used to test filesystem/database error
-//! paths (journal aborts, WAL sync failures) without bringing up the whole
-//! acoustic stack.
+//! according to an ordered set of [`FaultPlan`]s — used to test
+//! filesystem/database error paths (journal aborts, WAL sync failures)
+//! without bringing up the whole acoustic stack. For *probabilistic*
+//! faults (bursts, bit flips, torn writes) see
+//! [`ChaosInjector`](crate::ChaosInjector).
+//!
+//! # Composition and precedence
+//!
+//! Plans are checked in the order given; the **first** plan that wants
+//! to fail a request decides its error, and later plans never see it.
+//! Request/write counters are shared across all plans (every plan sees
+//! the same request index). [`FaultInjector::new`] remains the
+//! single-plan convenience constructor.
 
 use crate::device::BlockDevice;
 use crate::error::{IoError, EIO};
@@ -55,27 +65,44 @@ pub enum FaultPlan {
 #[derive(Debug)]
 pub struct FaultInjector<D> {
     inner: D,
-    plan: FaultPlan,
+    plans: Vec<FaultPlan>,
     requests: u64,
     writes: u64,
     injected: u64,
 }
 
 impl<D: BlockDevice> FaultInjector<D> {
-    /// Wraps `inner` with the given plan.
+    /// Wraps `inner` with a single plan (the common case).
     pub fn new(inner: D, plan: FaultPlan) -> Self {
+        Self::with_plans(inner, vec![plan])
+    }
+
+    /// Wraps `inner` with an ordered set of plans; on each request the
+    /// first matching plan wins (see the module docs for precedence).
+    pub fn with_plans(inner: D, plans: Vec<FaultPlan>) -> Self {
         FaultInjector {
             inner,
-            plan,
+            plans,
             requests: 0,
             writes: 0,
             injected: 0,
         }
     }
 
-    /// Replaces the plan mid-run (e.g. start failing after setup).
+    /// Replaces every plan with `plan` mid-run (e.g. start failing
+    /// after setup).
     pub fn set_plan(&mut self, plan: FaultPlan) {
-        self.plan = plan;
+        self.plans = vec![plan];
+    }
+
+    /// Appends a plan at the lowest precedence position.
+    pub fn push_plan(&mut self, plan: FaultPlan) {
+        self.plans.push(plan);
+    }
+
+    /// The plans in effect, in precedence order.
+    pub fn plans(&self) -> &[FaultPlan] {
+        &self.plans
     }
 
     /// Number of injected failures so far.
@@ -94,7 +121,7 @@ impl<D: BlockDevice> FaultInjector<D> {
     }
 
     fn check(&mut self, lba: u64, blocks: u64, is_write: bool) -> Result<(), IoError> {
-        let fault = match self.plan {
+        let fault = self.plans.iter().find_map(|plan| match *plan {
             FaultPlan::None => None,
             FaultPlan::FailFrom { start, error } => (self.requests >= start).then_some(error),
             FaultPlan::FailWritesFrom { start, error } => {
@@ -103,7 +130,7 @@ impl<D: BlockDevice> FaultInjector<D> {
             FaultPlan::BadRange { lo, hi } => {
                 (lba < hi && lba + blocks > lo).then_some(IoError::Medium { errno: EIO })
             }
-        };
+        });
         self.requests += 1;
         if is_write {
             self.writes += 1;
@@ -200,6 +227,48 @@ mod tests {
             d.write_blocks(11, &buf).unwrap_err(),
             IoError::Medium { errno: EIO }
         );
+    }
+
+    #[test]
+    fn composed_plans_first_match_wins() {
+        // A bad block range composed under a later fail-everything plan:
+        // requests in the range report the range's medium error, the
+        // rest fall through to the second plan.
+        let mut d = FaultInjector::with_plans(
+            MemDisk::new(64),
+            vec![
+                FaultPlan::BadRange { lo: 10, hi: 12 },
+                FaultPlan::FailWritesFrom {
+                    start: 2,
+                    error: IoError::NoResponse,
+                },
+            ],
+        );
+        let buf = vec![0u8; 512];
+        assert!(d.write_blocks(0, &buf).is_ok()); // write 0: neither plan
+        assert_eq!(
+            d.write_blocks(10, &buf).unwrap_err(),
+            IoError::Medium { errno: EIO }, // write 1: range wins
+        );
+        assert_eq!(
+            d.write_blocks(10, &buf).unwrap_err(),
+            IoError::Medium { errno: EIO }, // write 2: range still first
+        );
+        assert_eq!(d.write_blocks(0, &buf).unwrap_err(), IoError::NoResponse);
+        assert_eq!(d.injected(), 3);
+        assert_eq!(d.plans().len(), 2);
+    }
+
+    #[test]
+    fn push_plan_appends_at_lowest_precedence() {
+        let mut d = FaultInjector::new(MemDisk::new(16), FaultPlan::None);
+        d.push_plan(FaultPlan::FailFrom {
+            start: 0,
+            error: IoError::NoResponse,
+        });
+        let buf = vec![0u8; 512];
+        // FaultPlan::None never matches, so the pushed plan decides.
+        assert_eq!(d.write_blocks(0, &buf).unwrap_err(), IoError::NoResponse);
     }
 
     #[test]

@@ -9,9 +9,12 @@
 //! * [`HddDisk`] — the real thing: a sparse byte store timed and failed by
 //!   the mechanical [`deepnote_hdd`] drive model, including vibration-
 //!   induced errors and unresponsiveness ([`hdd_dev`]).
-//! * [`FaultInjector`] — a wrapper that injects deterministic failures
-//!   into any device, for testing error paths without acoustics
-//!   ([`faults`]).
+//! * [`FaultInjector`] — a wrapper that injects deterministic scripted
+//!   failures into any device, for testing error paths without
+//!   acoustics ([`faults`]).
+//! * [`ChaosInjector`] — a wrapper that injects *seeded probabilistic*
+//!   faults (error bursts, bit flips, torn/misdirected writes, latency
+//!   inflation), optionally scaled by vibration ([`chaos`]).
 //! * [`Raid1`] — N-way mirroring with degradation and resync, for the
 //!   redundancy experiments ([`raid`]).
 //!
@@ -29,6 +32,7 @@
 //! # Ok::<(), deepnote_blockdev::IoError>(())
 //! ```
 
+pub mod chaos;
 pub mod device;
 pub mod error;
 pub mod faults;
@@ -37,8 +41,11 @@ pub mod mem;
 pub mod raid;
 pub mod trace;
 
+pub use chaos::{
+    ChaosEvent, ChaosFault, ChaosInjector, ChaosPlan, ChaosStats, DelayPlan, ErrorBurst, FaultScope,
+};
 pub use device::{BlockDevice, BLOCK_SIZE};
-pub use error::IoError;
+pub use error::{IoError, EIO};
 pub use faults::{FaultInjector, FaultPlan};
 pub use hdd_dev::HddDisk;
 pub use mem::MemDisk;

@@ -13,6 +13,7 @@
 //! deepnote redundancy
 //! deepnote fleet [--drives N] [--spacing-cm S]
 //! deepnote cluster [--placement P] [--seconds N] [--clients N] [--shards N] [--seed S]
+//!                  [--chaos C] [--json FILE]
 //! deepnote all
 //! ```
 
@@ -92,6 +93,10 @@ COMMANDS:
   cluster      replicated KV cluster vs attack timeline
                [--placement separated|colocated|both] [--seconds N]
                [--clients N] [--shards N] [--seed S]
+               [--chaos off|transient|corruption|full] [--json FILE]
+               with --chaos, each placement runs twice: full defense
+               stack (checksums, scrub, read repair, resilient client)
+               vs the naive one-shot quorum path
   all          everything above (except TSV dumps)
 ";
 
@@ -228,27 +233,53 @@ fn run(cmd: &str, args: &Args) -> Result<(), String> {
         "cluster" => {
             let placement = args.get("placement", "both".to_string())?;
             let attack = SimDuration::from_secs(args.get("seconds", 120u64)?);
-            let build = |p: PlacementPolicy| -> Result<CampaignConfig, String> {
-                let mut c = CampaignConfig::paper_duel(p, attack);
+            let chaos_name = args.get("chaos", "off".to_string())?;
+            let chaos = ChaosProfile::parse(&chaos_name).ok_or_else(|| {
+                format!("bad value for --chaos: {chaos_name} (off|transient|corruption|full)")
+            })?;
+            let tune = |mut c: CampaignConfig| -> Result<CampaignConfig, String> {
                 c.seed = args.get("seed", c.seed)?;
                 c.workload.clients = args.get("clients", c.workload.clients)?;
                 c.cluster.num_shards = args.get("shards", c.cluster.num_shards)?;
                 Ok(c)
             };
-            let configs = match placement.as_str() {
-                "separated" => vec![build(PlacementPolicy::Separated)?],
-                "colocated" | "co-located" => vec![build(PlacementPolicy::CoLocated)?],
-                "both" => vec![
-                    build(PlacementPolicy::Separated)?,
-                    build(PlacementPolicy::CoLocated)?,
-                ],
+            let placements = match placement.as_str() {
+                "separated" => vec![PlacementPolicy::Separated],
+                "colocated" | "co-located" => vec![PlacementPolicy::CoLocated],
+                "both" => vec![PlacementPolicy::Separated, PlacementPolicy::CoLocated],
                 other => return Err(format!("bad value for --placement: {other}")),
             };
+            let mut configs = Vec::new();
+            for p in placements {
+                if chaos.is_off() {
+                    configs.push(tune(CampaignConfig::paper_duel(p, attack))?);
+                } else {
+                    // Under chaos, each placement becomes a duel of its
+                    // own: full defense stack vs the bare quorum path.
+                    let (hardened, naive) = CampaignConfig::chaos_pair(p, attack, &chaos);
+                    let mut hardened = tune(hardened)?;
+                    let mut naive = tune(naive)?;
+                    hardened.label = format!("{} {}", p.label(), hardened.label);
+                    naive.label = format!("{} {}", p.label(), naive.label);
+                    configs.push(hardened);
+                    configs.push(naive);
+                }
+            }
             let mut reports = Vec::new();
             for result in run_matrix(configs) {
                 reports.push(result.map_err(|e| format!("campaign failed: {e}"))?);
             }
             print!("{}", render_duel(&reports));
+            if let Some((_, path)) = args.flags.iter().find(|(n, _)| n == "json") {
+                let body = reports
+                    .iter()
+                    .map(CampaignReport::to_json)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                std::fs::write(path, format!("[{body}]\n"))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("wrote {} report(s) to {path}", reports.len());
+            }
         }
         "all" => {
             for sub in [

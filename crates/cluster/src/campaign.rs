@@ -1,16 +1,25 @@
 //! The campaign driver: a deterministic event loop that runs an attack
 //! timeline against a serving cluster.
 //!
-//! Five event streams interleave on one priority queue — phase changes,
-//! heartbeat rounds, repair steps, availability samples, and closed-loop
-//! client turns — ordered by `(time, stream priority, insertion order)`,
-//! so a fixed seed replays the identical campaign operation for
-//! operation. The sweep phase retunes the speaker at heartbeat
-//! granularity; health probes, failover, and restarts all ride the same
-//! heartbeat cadence a real control plane would use.
+//! Six event streams interleave on one priority queue — phase changes,
+//! heartbeat rounds, repair steps, scrub steps, availability samples,
+//! and closed-loop client turns — ordered by `(time, stream priority,
+//! insertion order)`, so a fixed seed replays the identical campaign
+//! operation for operation. The sweep phase retunes the speaker at
+//! heartbeat granularity; health probes, failover, and restarts all ride
+//! the same heartbeat cadence a real control plane would use.
+//!
+//! A campaign can additionally run under a [`ChaosProfile`] (seeded
+//! device and data-path fault injection), route every client operation
+//! through a [`crate::client::ResilientClient`], and check each read
+//! against the workload oracle — the ground-truth value the key was
+//! provisioned with — to count end-to-end wrong answers.
 
+use crate::chaos::ChaosProfile;
+use crate::client::{ClientPolicy, ResilientClient};
 use crate::cluster::{Cluster, ClusterConfig};
 use crate::error::ClusterError;
+use crate::integrity::IntegrityConfig;
 use crate::metrics::{ClusterMetrics, PhaseMetrics};
 use crate::placement::PlacementPolicy;
 use crate::report::CampaignReport;
@@ -21,6 +30,15 @@ use deepnote_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Salt folded into the root seed for the chaos RNG tree, so adding
+/// fault injection never perturbs the client streams of a chaos-free
+/// run with the same seed.
+const CHAOS_SALT: u64 = 0xC4A0_5EED_D15C_0DE5;
+
+/// Salt folded into the root seed for the resilient client's RNG
+/// (backoff jitter), independent of both workload and chaos streams.
+const CLIENT_SALT: u64 = 0xBAC0_FF5A_17ED_B175;
 
 /// Everything one campaign run needs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,6 +59,19 @@ pub struct CampaignConfig {
     pub repair_every: SimDuration,
     /// Keys moved per repair step.
     pub repair_batch: usize,
+    /// Seeded fault injection applied to every node.
+    pub chaos: ChaosProfile,
+    /// Route operations through the resilient client (`None` keeps the
+    /// raw one-shot quorum path).
+    pub client: Option<ClientPolicy>,
+    /// Interval between background scrub steps (only runs when the
+    /// cluster's integrity config enables scrubbing).
+    pub scrub_every: SimDuration,
+    /// Keys examined per scrub step.
+    pub scrub_batch: usize,
+    /// Check every successful read against the workload oracle and
+    /// count wrong answers in the integrity stats.
+    pub verify_responses: bool,
     /// Root RNG seed; fixes every client stream.
     pub seed: u64,
 }
@@ -59,8 +90,38 @@ impl CampaignConfig {
             sample_every: SimDuration::from_secs(5),
             repair_every: SimDuration::from_millis(200),
             repair_batch: 32,
+            chaos: ChaosProfile::off(),
+            client: None,
+            scrub_every: SimDuration::from_millis(200),
+            scrub_batch: 8,
+            verify_responses: false,
             seed: deepnote_sim::rng::DEFAULT_SEED,
         }
+    }
+
+    /// A hardened-vs-naive duel under one chaos profile: the same
+    /// placement, timeline, and faults, run twice — once with the full
+    /// defense stack (end-to-end checksums, read repair, scrubbing, and
+    /// the resilient client) and once with the bare one-shot quorum
+    /// path. Both runs verify responses against the workload oracle, so
+    /// the naive run *proves* it serves wrong answers while the
+    /// hardened run proves it does not.
+    pub fn chaos_pair(
+        placement: PlacementPolicy,
+        attack: SimDuration,
+        chaos: &ChaosProfile,
+    ) -> (Self, Self) {
+        let mut hardened = Self::paper_duel(placement, attack);
+        hardened.label = format!("{}+defenses", chaos.label);
+        hardened.chaos = chaos.clone();
+        hardened.cluster.integrity = IntegrityConfig::full();
+        hardened.client = Some(ClientPolicy::standard());
+        hardened.verify_responses = true;
+        let mut naive = Self::paper_duel(placement, attack);
+        naive.label = format!("{}+naive", chaos.label);
+        naive.chaos = chaos.clone();
+        naive.verify_responses = true;
+        (hardened, naive)
     }
 }
 
@@ -75,6 +136,8 @@ enum EvKind {
     Heartbeat,
     /// One bounded repair step.
     Repair,
+    /// One bounded scrub step.
+    Scrub,
     /// Close an availability window.
     Sample,
     /// Client `i` issues its next operation.
@@ -87,8 +150,9 @@ impl EvKind {
             EvKind::PhaseChange(_) => 0,
             EvKind::Heartbeat => 1,
             EvKind::Repair => 2,
-            EvKind::Sample => 3,
-            EvKind::Client(_) => 4,
+            EvKind::Scrub => 3,
+            EvKind::Sample => 4,
+            EvKind::Client(_) => 5,
         }
     }
 }
@@ -150,10 +214,17 @@ impl EventQueue {
 /// those are results, captured in the report.
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterError> {
     let spec = config.workload;
-    let mut cluster = Cluster::new(config.cluster.clone())?;
+    let mut chaos_rng = SimRng::seeded(config.seed ^ CHAOS_SALT);
+    let mut cluster = Cluster::with_chaos(config.cluster.clone(), &config.chaos, &mut chaos_rng)?;
     cluster.provision(&spec)?;
     let mut rng = SimRng::seeded(config.seed);
     let mut pool = ClientPool::new(&spec, &mut rng);
+    let num_nodes = cluster.nodes().len();
+    let mut driver = config.client.map(|policy| {
+        ResilientClient::new(num_nodes, policy, SimRng::seeded(config.seed ^ CLIENT_SALT))
+    });
+    let mut oracle_checked = 0u64;
+    let mut oracle_wrong = 0u64;
 
     let phase_records: Vec<PhaseMetrics> = config
         .timeline
@@ -176,6 +247,9 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
     }
     q.push(SimTime::ZERO, EvKind::Heartbeat);
     q.push(SimTime::ZERO + config.repair_every, EvKind::Repair);
+    if config.cluster.integrity.scrub && config.cluster.integrity.checksums {
+        q.push(SimTime::ZERO + config.scrub_every, EvKind::Scrub);
+    }
     q.push(SimTime::ZERO + config.sample_every, EvKind::Sample);
     for i in 0..pool.len() {
         q.push(pool.first_issue(i, &spec), EvKind::Client(i));
@@ -200,6 +274,10 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
                 cluster.repair_step(ev.at, config.repair_batch);
                 q.push(ev.at + config.repair_every, EvKind::Repair);
             }
+            EvKind::Scrub => {
+                cluster.scrub_step(ev.at, config.scrub_batch);
+                q.push(ev.at + config.scrub_every, EvKind::Scrub);
+            }
             EvKind::Sample => {
                 metrics.sample_availability(ev.at);
                 let phase = config.timeline.phase_at(ev.at);
@@ -211,9 +289,26 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
                 let op = pool.next_op(i, &spec);
                 let key = spec.key(op.key_index);
                 let value = spec.value(op.key_index);
-                let outcome = cluster.execute(op.is_read, &key, &value, ev.at);
-                metrics.record_op(op.is_read, outcome.ok, outcome.latency);
-                q.push(ev.at + outcome.latency + spec.think_time, EvKind::Client(i));
+                let (ok, latency, served) = match driver.as_mut() {
+                    Some(client) => {
+                        let out = client.execute(&mut cluster, op.is_read, &key, &value, ev.at);
+                        (out.ok, out.latency, out.value)
+                    }
+                    None => {
+                        let out = cluster.execute(op.is_read, &key, &value, ev.at);
+                        (out.ok, out.latency, out.value)
+                    }
+                };
+                if config.verify_responses && op.is_read && ok {
+                    if let Some(got) = &served {
+                        oracle_checked += 1;
+                        if *got != value {
+                            oracle_wrong += 1;
+                        }
+                    }
+                }
+                metrics.record_op(op.is_read, ok, latency);
+                q.push(ev.at + latency + spec.think_time, EvKind::Client(i));
             }
         }
     }
@@ -221,6 +316,8 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
     let last_phase = config.timeline.phases().len() - 1;
     max_unavailable_by_phase[last_phase] =
         max_unavailable_by_phase[last_phase].max(cluster.unavailable_shards(end));
+
+    cluster.record_oracle(oracle_checked, oracle_wrong);
 
     Ok(CampaignReport {
         label: config.label.clone(),
@@ -233,6 +330,12 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
         max_unavailable_by_phase,
         final_unavailable_shards: cluster.unavailable_shards(end),
         events: cluster.events().to_vec(),
+        resilience: driver.as_ref().map(ResilientClient::stats),
+        integrity: cluster.integrity_stats(),
+        scrub: cluster.scrub_stats(),
+        chaos: cluster.chaos_stats(),
+        fault_traces: cluster.fault_traces(),
+        pending_repairs: cluster.pending_repairs(),
     })
 }
 

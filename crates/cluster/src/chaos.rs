@@ -1,0 +1,160 @@
+//! Campaign-level chaos profiles: what dirty failures a run injects.
+//!
+//! A [`ChaosProfile`] bundles the device-level [`ChaosPlan`] every
+//! node's drive is wrapped in with the node-level *silent corruption*
+//! rates. The split matters: the KV store below us checksums its own
+//! records, so a bit flipped at the block layer is **detected** there
+//! and surfaces as a read error — nasty, but not silent. The corruption
+//! that defeats layer-local checksums is the end-to-end kind: a replica
+//! that durably stores the *wrong value* (a buggy buffer, a stray DMA,
+//! a torn application write), which its own storage stack then
+//! faithfully checksums and protects. Node-level flips model exactly
+//! that, and only the cluster's end-to-end checksums
+//! ([`crate::integrity`]) can catch them.
+//!
+//! Profiles are seeded like everything else: the campaign forks one RNG
+//! stream per node off a chaos-dedicated root, so the same seed injects
+//! the same faults at the same points in the request sequence.
+
+use deepnote_blockdev::{ChaosPlan, DelayPlan, ErrorBurst, FaultScope, IoError, EIO};
+use deepnote_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Everything chaotic about one campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosProfile {
+    /// Profile name, for reports and the CLI.
+    pub label: String,
+    /// Device-level plan every node's drive is wrapped in.
+    pub device: ChaosPlan,
+    /// Probability a preloaded replica record is silently corrupted
+    /// (models bad state already resident when the campaign starts).
+    pub preload_flip: f64,
+    /// Probability a served write durably stores a flipped value.
+    pub put_flip: f64,
+    /// Probability a served read returns a transiently flipped value.
+    pub get_flip: f64,
+}
+
+impl ChaosProfile {
+    /// No chaos at all (the legacy clean-failure campaign).
+    pub fn off() -> Self {
+        ChaosProfile {
+            label: "off".to_string(),
+            device: ChaosPlan::quiet(),
+            preload_flip: 0.0,
+            put_flip: 0.0,
+            get_flip: 0.0,
+        }
+    }
+
+    /// Transient availability faults, no corruption: read-scoped medium
+    /// error bursts plus occasional service-time inflation — the
+    /// profile retries and hedges are built for.
+    pub fn transient() -> Self {
+        ChaosProfile {
+            label: "transient".to_string(),
+            device: ChaosPlan {
+                bursts: vec![ErrorBurst {
+                    enter_per_request: 0.004,
+                    mean_burst: 12,
+                    error: IoError::Medium { errno: EIO },
+                    scope: FaultScope::Reads,
+                }],
+                // Well past the 250 ms quorum deadline: a hit replica
+                // drags its whole busy window over the timeout, so ops
+                // dispatched to it fail transiently instead of slowly.
+                delay: Some(DelayPlan {
+                    per_request: 0.03,
+                    extra: SimDuration::from_millis(400),
+                }),
+                ..ChaosPlan::quiet()
+            },
+            preload_flip: 0.0,
+            put_flip: 0.0,
+            get_flip: 0.0,
+        }
+    }
+
+    /// Silent corruption, no availability faults: some replicas start
+    /// the campaign with corrupt records and keep corrupting a fraction
+    /// of writes and reads — the profile end-to-end checksums, scrub,
+    /// and read-repair are built for.
+    pub fn corruption() -> Self {
+        ChaosProfile {
+            label: "corruption".to_string(),
+            device: ChaosPlan::quiet(),
+            preload_flip: 0.02,
+            put_flip: 0.01,
+            get_flip: 0.005,
+        }
+    }
+
+    /// Everything at once, with device fault rates scaled by each
+    /// drive's vibration level: the attack does not just crash nodes,
+    /// it degrades the survivors.
+    pub fn full() -> Self {
+        let mut p = ChaosProfile::transient();
+        p.label = "full".to_string();
+        p.device.torn_write_per_request = 2e-4;
+        p.device.misdirect_per_request = 1e-4;
+        p.device.vibration_boost = 1.0;
+        p.preload_flip = 0.01;
+        p.put_flip = 0.005;
+        p.get_flip = 0.002;
+        p
+    }
+
+    /// Parses a CLI profile name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "off" | "none" => Some(Self::off()),
+            "transient" => Some(Self::transient()),
+            "corruption" => Some(Self::corruption()),
+            "full" => Some(Self::full()),
+            _ => None,
+        }
+    }
+
+    /// Whether this profile injects nothing.
+    pub fn is_off(&self) -> bool {
+        self.device.is_quiet()
+            && self.preload_flip <= 0.0
+            && self.put_flip <= 0.0
+            && self.get_flip <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_off_and_presets_are_not() {
+        assert!(ChaosProfile::off().is_off());
+        for p in [
+            ChaosProfile::transient(),
+            ChaosProfile::corruption(),
+            ChaosProfile::full(),
+        ] {
+            assert!(!p.is_off(), "{} is a no-op", p.label);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_the_labels() {
+        for name in ["off", "transient", "corruption", "full"] {
+            let p = ChaosProfile::parse(name).unwrap();
+            assert_eq!(p.label, if name == "none" { "off" } else { name });
+        }
+        assert_eq!(ChaosProfile::parse("none").unwrap().label, "off");
+        assert!(ChaosProfile::parse("cataclysm").is_none());
+    }
+
+    #[test]
+    fn corruption_profile_has_no_device_faults() {
+        // The silent-corruption duel must not crash engines: data loss
+        // from blank-drive swaps would confound the integrity oracle.
+        assert!(ChaosProfile::corruption().device.is_quiet());
+    }
+}

@@ -7,8 +7,10 @@
 //! wiring: quorum dispatch, failure detection, failover, and
 //! re-replication.
 
+use crate::chaos::ChaosProfile;
 use crate::error::ClusterError;
 use crate::health::{HealthConfig, HealthMonitor, Transition};
+use crate::integrity::{self, IntegrityConfig, IntegrityStats, ScrubStats, Scrubber};
 use crate::node::{RestartOutcome, StorageNode};
 use crate::placement::{shard_of, NodeId, PlacementPolicy, RackSpec, ShardId, ShardMap, Topology};
 use crate::replication::{
@@ -17,10 +19,11 @@ use crate::replication::{
 };
 use crate::workload::WorkloadSpec;
 use deepnote_acoustics::Frequency;
+use deepnote_blockdev::{ChaosEvent, ChaosStats};
 use deepnote_core::testbed::Testbed;
 use deepnote_core::threat::AttackParams;
 use deepnote_kv::DbConfig;
-use deepnote_sim::{SimDuration, SimTime};
+use deepnote_sim::{SimDuration, SimRng, SimTime};
 use deepnote_structures::Scenario;
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +42,8 @@ pub struct ClusterConfig {
     pub replication: ReplicationConfig,
     /// Failure-detection settings.
     pub health: HealthConfig,
+    /// End-to-end integrity machinery (off by default).
+    pub integrity: IntegrityConfig,
 }
 
 impl ClusterConfig {
@@ -69,6 +74,7 @@ impl ClusterConfig {
             placement,
             replication: ReplicationConfig::majority(3),
             health: HealthConfig::default(),
+            integrity: IntegrityConfig::off(),
         }
     }
 
@@ -97,6 +103,8 @@ pub struct Cluster {
     current_attack: Option<Frequency>,
     failovers: u64,
     events: Vec<String>,
+    integrity: IntegrityStats,
+    scrubber: Scrubber,
 }
 
 /// Health probes read this key; it never collides with workload keys.
@@ -110,6 +118,22 @@ impl Cluster {
     /// [`ClusterError::NodeLaunch`] if any node fails to format its
     /// fresh drive.
     pub fn new(config: ClusterConfig) -> Result<Self, ClusterError> {
+        Self::with_chaos(config, &ChaosProfile::off(), &mut SimRng::seeded(0))
+    }
+
+    /// Builds and launches every node with `chaos` injected into its
+    /// drive and serving path, forking one RNG stream per node off
+    /// `rng`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NodeLaunch`] if any node fails to format its
+    /// fresh drive.
+    pub fn with_chaos(
+        config: ClusterConfig,
+        chaos: &ChaosProfile,
+        rng: &mut SimRng,
+    ) -> Result<Self, ClusterError> {
         let topo = Topology::build(&config.racks);
         let map = ShardMap::build(
             &topo,
@@ -119,11 +143,13 @@ impl Cluster {
         );
         let nodes: Vec<StorageNode> = (0..topo.nodes())
             .map(|n| {
-                StorageNode::launch(
+                StorageNode::launch_with(
                     n,
                     topo.node_rack[n],
                     topo.node_distance[n],
                     ClusterConfig::node_db_config(),
+                    chaos,
+                    rng.fork(n as u64),
                 )
             })
             .collect::<Result<_, _>>()?;
@@ -139,6 +165,8 @@ impl Cluster {
             current_attack: None,
             failovers: 0,
             events: Vec::new(),
+            integrity: IntegrityStats::default(),
+            scrubber: Scrubber::default(),
             config,
         })
     }
@@ -195,7 +223,11 @@ impl Cluster {
         let mut per_node: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); self.nodes.len()];
         for i in 0..spec.num_keys {
             let key = spec.key(i);
-            let value = spec.value(i);
+            let value = if self.config.integrity.checksums {
+                integrity::seal(&key, &spec.value(i))
+            } else {
+                spec.value(i)
+            };
             let shard = self.shard_for(&key);
             self.shard_keys[shard].push(key.clone());
             for &n in self.map.replicas(shard) {
@@ -242,26 +274,134 @@ impl Cluster {
         value: &[u8],
         now: SimTime,
     ) -> QuorumOutcome {
+        self.execute_masked(is_read, key, value, now, None)
+    }
+
+    /// [`Cluster::execute`] with an optional client-side deny mask
+    /// (circuit breakers): `denied[n]` suppresses dispatch to node `n`
+    /// on top of the health monitor's belief. With checksums on, writes
+    /// are sealed and every read ack is verified end-to-end; corrupt
+    /// acks are never served and (with read-repair on) are rewritten
+    /// inline from the earliest verified copy.
+    pub fn execute_masked(
+        &mut self,
+        is_read: bool,
+        key: &[u8],
+        value: &[u8],
+        now: SimTime,
+        denied: Option<&[bool]>,
+    ) -> QuorumOutcome {
         let shard = self.shard_for(key);
-        let up = self.monitor.up_mask();
+        let mut up = self.monitor.up_mask();
+        if let Some(denied) = denied {
+            for (u, &d) in up.iter_mut().zip(denied) {
+                if d {
+                    *u = false;
+                }
+            }
+        }
         let kind = if is_read { OpKind::Read } else { OpKind::Write };
-        let outcome = quorum_execute(
+        let sealed;
+        let payload = if !is_read && self.config.integrity.checksums {
+            sealed = integrity::seal(key, value);
+            sealed.as_slice()
+        } else {
+            value
+        };
+        let mut outcome = quorum_execute(
             &mut self.nodes,
             self.map.replicas(shard),
             &up,
             kind,
             key,
-            value,
+            payload,
             now,
             &self.config.replication,
         );
-        for &n in &outcome.fatalities {
-            if self.monitor.mark_down(n, now) == Transition::WentDown {
-                self.note(now, format!("node {n} crashed (fatal storage error)"));
-                self.repairs.cancel_target(n);
-            }
+        for &n in &outcome.fatalities.clone() {
+            self.note_fatal(n, now);
+        }
+        if is_read && self.config.integrity.checksums {
+            self.verify_read(key, now, &mut outcome);
         }
         outcome
+    }
+
+    fn note_fatal(&mut self, n: NodeId, now: SimTime) {
+        if self.monitor.mark_down(n, now) == Transition::WentDown {
+            self.note(now, format!("node {n} crashed (fatal storage error)"));
+            self.repairs.cancel_target(n);
+        }
+    }
+
+    /// End-to-end verification of a quorum read: serve only the
+    /// earliest verified copy, count corrupt acks, and (optionally)
+    /// rewrite them inline. A read that acked a quorum but produced no
+    /// verifiable value is downgraded to a failure — serving bytes the
+    /// checksum rejects is exactly what this layer exists to prevent.
+    fn verify_read(&mut self, key: &[u8], now: SimTime, outcome: &mut QuorumOutcome) {
+        if !outcome.ok {
+            return;
+        }
+        let mut healthy: Option<Vec<u8>> = None;
+        let mut corrupt: Vec<NodeId> = Vec::new();
+        let mut saw_value = false;
+        for r in &outcome.replies {
+            if !r.ok {
+                continue;
+            }
+            let Some(v) = &r.value else { continue };
+            saw_value = true;
+            if integrity::verify(key, v) {
+                if healthy.is_none() {
+                    healthy = Some(v.clone());
+                }
+            } else {
+                corrupt.push(r.node);
+            }
+        }
+        self.integrity.corrupt_acks += corrupt.len() as u64;
+        match healthy {
+            Some(sealed_copy) => {
+                outcome.value = integrity::unseal(key, &sealed_copy).map(<[u8]>::to_vec);
+                if self.config.integrity.read_repair {
+                    for n in corrupt {
+                        let w = self.nodes[n].serve_put(now, key, &sealed_copy);
+                        if w.ok {
+                            self.integrity.read_repairs += 1;
+                        } else {
+                            self.integrity.read_repair_failures += 1;
+                            if w.fatal {
+                                self.note_fatal(n, now);
+                            }
+                        }
+                    }
+                }
+            }
+            None if saw_value => {
+                // Every ack with a value was corrupt: refuse the read.
+                self.integrity.unserveable_reads += 1;
+                outcome.ok = false;
+                outcome.value = None;
+            }
+            None => {
+                // A genuine miss (no replica holds the key): the quorum
+                // stands, there is just nothing to serve.
+                outcome.value = None;
+            }
+        }
+    }
+
+    /// Integrates a client-side circuit-breaker trip: evidence of
+    /// repeated failures the heartbeat path may not have seen yet. The
+    /// trip is fed to the monitor as a missed probe, so persistent
+    /// tripping marks the node down without waiting for heartbeats.
+    pub fn report_breaker_trip(&mut self, node: NodeId, now: SimTime) {
+        let miss = self.monitor.config().probe_timeout + SimDuration::from_millis(1);
+        if self.monitor.observe_probe(node, now, miss, false) == Transition::WentDown {
+            self.note(now, format!("node {node} marked down (circuit breaker)"));
+            self.repairs.cancel_target(node);
+        }
     }
 
     /// One heartbeat round: probe every node, integrate transitions,
@@ -377,12 +517,101 @@ impl Cluster {
             batch,
             now,
             &self.config.replication,
+            self.config.integrity.checksums,
         )
     }
 
     /// Pending repair jobs.
     pub fn pending_repairs(&self) -> usize {
         self.repairs.pending()
+    }
+
+    /// Advances the background scrubber by up to `budget` keys at `now`:
+    /// each key's live replicas are read through the real storage stacks
+    /// (bandwidth is paid and accounted), corrupt or missing copies are
+    /// classified against a verified sibling, and repair jobs are
+    /// enqueued for the damage. Returns keys examined. No-op unless the
+    /// cluster runs checksums with scrubbing enabled.
+    pub fn scrub_step(&mut self, now: SimTime, budget: usize) -> u64 {
+        if !self.config.integrity.scrub || !self.config.integrity.checksums {
+            return 0;
+        }
+        let total_keys: usize = self.shard_keys.iter().map(Vec::len).sum();
+        if total_keys == 0 {
+            return 0;
+        }
+        let deadline = now + self.config.replication.request_timeout;
+        let mut t = now;
+        let mut scanned = 0u64;
+        while scanned < budget as u64 {
+            // Skip empty shards (the cursor always lands on a real key).
+            while self.shard_keys[self.scrubber.shard].is_empty() {
+                self.scrubber.advance(1, self.config.num_shards);
+            }
+            let shard = self.scrubber.shard;
+            let key = self.shard_keys[shard][self.scrubber.key].clone();
+            let replicas = self.map.replicas(shard).to_vec();
+            let mut reads: Vec<(NodeId, Option<Vec<u8>>)> = Vec::new();
+            for n in replicas {
+                if !self.monitor.is_up(n) || self.nodes[n].busy_until() > deadline {
+                    continue;
+                }
+                let r = self.nodes[n].serve_get(t, &key);
+                t = r.done;
+                self.scrubber.stats.replicas_read += 1;
+                if !r.ok {
+                    continue; // transient failure: next pass retries
+                }
+                if let Some(v) = &r.value {
+                    self.scrubber.stats.bytes_read += v.len() as u64;
+                }
+                reads.push((n, r.value));
+            }
+            let verdict = Scrubber::classify(&key, &reads);
+            self.scrubber.stats.corrupt_found += verdict.corrupt.len() as u64;
+            if verdict.healthy.is_some() {
+                // Only count/repair missing copies when a sibling proves
+                // the key exists; and only enqueue repairs when there is
+                // something verified to copy from.
+                self.scrubber.stats.missing_found += verdict.missing.len() as u64;
+                for n in verdict.corrupt.iter().chain(verdict.missing.iter()) {
+                    if self.repairs.enqueue(shard, *n, RepairReason::Scrub) {
+                        self.scrubber.stats.repairs_enqueued += 1;
+                    }
+                }
+            }
+            scanned += 1;
+            self.scrubber.stats.keys_scanned += 1;
+            let keys_in_shard = self.shard_keys[shard].len();
+            self.scrubber.advance(keys_in_shard, self.config.num_shards);
+        }
+        scanned
+    }
+
+    /// Scrubber work and findings so far.
+    pub fn scrub_stats(&self) -> ScrubStats {
+        self.scrubber.stats
+    }
+
+    /// End-to-end integrity outcomes so far.
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        self.integrity
+    }
+
+    /// Adds campaign-level oracle outcomes to the integrity counters.
+    pub fn record_oracle(&mut self, checked: u64, wrong: u64) {
+        self.integrity.oracle_checked += checked;
+        self.integrity.oracle_wrong += wrong;
+    }
+
+    /// Per-node device chaos counters (drives since retired included).
+    pub fn chaos_stats(&self) -> Vec<ChaosStats> {
+        self.nodes.iter().map(StorageNode::chaos_stats).collect()
+    }
+
+    /// Per-node device fault traces, in request order.
+    pub fn fault_traces(&self) -> Vec<Vec<ChaosEvent>> {
+        self.nodes.iter().map(StorageNode::fault_trace).collect()
     }
 
     /// Shards currently below their write quorum (no write can succeed).

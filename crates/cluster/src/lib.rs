@@ -48,9 +48,12 @@
 //! ```
 
 pub mod campaign;
+pub mod chaos;
+pub mod client;
 pub mod cluster;
 pub mod error;
 pub mod health;
+pub mod integrity;
 pub mod metrics;
 pub mod node;
 pub mod placement;
@@ -62,10 +65,13 @@ pub mod workload;
 /// The common imports for driving cluster campaigns.
 pub mod prelude {
     pub use crate::campaign::{run_campaign, run_matrix, CampaignConfig};
+    pub use crate::chaos::ChaosProfile;
+    pub use crate::client::{ClientPolicy, ResilientClient};
     pub use crate::cluster::{Cluster, ClusterConfig};
     pub use crate::error::ClusterError;
     pub use crate::health::HealthConfig;
-    pub use crate::metrics::ClusterMetrics;
+    pub use crate::integrity::IntegrityConfig;
+    pub use crate::metrics::{ClusterMetrics, ResilienceStats};
     pub use crate::placement::{PlacementPolicy, RackSpec};
     pub use crate::replication::ReplicationConfig;
     pub use crate::report::{render_duel, CampaignReport};

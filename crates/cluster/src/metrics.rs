@@ -118,6 +118,30 @@ impl PhaseMetrics {
     }
 }
 
+/// Counters for the resilient client path ([`crate::client`]): how much
+/// work retries, hedges, and breakers did on top of the raw quorum path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Client operations completed (after any retries/hedges).
+    pub ops: u64,
+    /// Quorum executions issued on the primary/retry path.
+    pub attempts: u64,
+    /// Retries issued after a failed attempt.
+    pub retries: u64,
+    /// Operations that failed at least once but ultimately succeeded.
+    pub recovered_by_retry: u64,
+    /// Hedge requests issued on slow reads.
+    pub hedges: u64,
+    /// Hedges that beat (or rescued) the primary request.
+    pub hedges_won: u64,
+    /// Circuit breakers tripped open.
+    pub breaker_trips: u64,
+    /// Replica dispatches suppressed by an open breaker.
+    pub breaker_denied: u64,
+    /// Operations abandoned because the deadline budget ran out.
+    pub deadline_exhausted: u64,
+}
+
 /// One point of the availability time series.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AvailabilitySample {

@@ -8,13 +8,24 @@
 //! 81-second WAL-sync retry is therefore unresponsive on the cluster
 //! timeline for 81 seconds, exactly like a real server with a blocked
 //! fsync.
+//!
+//! Every drive sits behind a [`ChaosInjector`] (quiet by default), and
+//! the node itself can silently corrupt values it stores or returns
+//! (see [`ChaosProfile`]): device-level flips are caught by the KV
+//! store's own record checksums, so the truly dangerous corruption —
+//! the kind only the cluster's end-to-end checksums can see — is
+//! injected here, above the store, where no lower layer checks it.
 
+use crate::chaos::ChaosProfile;
 use crate::error::ClusterError;
 use deepnote_acoustics::Distance;
-use deepnote_blockdev::{BlockDevice, HddDisk};
+use deepnote_blockdev::{BlockDevice, ChaosEvent, ChaosInjector, ChaosPlan, ChaosStats, HddDisk};
 use deepnote_hdd::VibrationInput;
 use deepnote_kv::{Db, DbConfig};
-use deepnote_sim::{Clock, SimDuration, SimTime};
+use deepnote_sim::{Clock, SimDuration, SimRng, SimTime};
+
+/// A node's drive: the mechanical model behind a seeded fault injector.
+pub type ChaosDisk = ChaosInjector<HddDisk>;
 
 /// The node's storage engine, present in every lifecycle state.
 ///
@@ -25,10 +36,10 @@ use deepnote_sim::{Clock, SimDuration, SimTime};
 #[allow(clippy::large_enum_variant)]
 enum Engine {
     /// Serving: the database owns the disk.
-    Running(Box<Db<HddDisk>>),
+    Running(Box<Db<ChaosDisk>>),
     /// Crashed: the disk has been pulled out of the dead process and
     /// waits for a restart.
-    Stopped(HddDisk),
+    Stopped(ChaosDisk),
     /// Transient marker while ownership moves between states.
     Swapping,
 }
@@ -54,6 +65,15 @@ pub struct NodeCounters {
     pub restarts: u64,
     /// Restart attempts that failed (medium still dead).
     pub failed_restarts: u64,
+    /// Device-level faults injected by the drive's chaos plan (every
+    /// kind, including drives since retired).
+    pub injected_faults: u64,
+    /// Values this node durably stored wrong (silent write corruption,
+    /// preload included).
+    pub corrupted_writes: u64,
+    /// Values this node returned wrong while the stored copy was fine
+    /// (transient read corruption).
+    pub corrupted_reads: u64,
 }
 
 /// The result of dispatching one operation to a node.
@@ -81,10 +101,17 @@ pub struct StorageNode {
     busy_until: SimTime,
     db_config: DbConfig,
     counters: NodeCounters,
+    chaos: ChaosProfile,
+    rng: SimRng,
+    /// Chaos counters of drives this node has retired (blank swaps).
+    retired_chaos: ChaosStats,
+    /// Distinct devices built, used to fork a fresh RNG stream per drive.
+    devices_built: u64,
 }
 
 impl StorageNode {
-    /// Brings up a node with a freshly formatted drive.
+    /// Brings up a node with a freshly formatted drive and no chaos
+    /// (the legacy clean-failure node).
     ///
     /// # Errors
     ///
@@ -97,11 +124,46 @@ impl StorageNode {
         position: Distance,
         db_config: DbConfig,
     ) -> Result<Self, ClusterError> {
+        Self::launch_with(
+            id,
+            rack,
+            position,
+            db_config,
+            &ChaosProfile::off(),
+            SimRng::seeded(id as u64),
+        )
+    }
+
+    /// Brings up a node whose drive and serving path inject the faults
+    /// `chaos` describes, drawn from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NodeLaunch`] if formatting the fresh device fails.
+    pub fn launch_with(
+        id: usize,
+        rack: usize,
+        position: Distance,
+        db_config: DbConfig,
+        chaos: &ChaosProfile,
+        mut rng: SimRng,
+    ) -> Result<Self, ClusterError> {
         let clock = Clock::new();
-        let disk = HddDisk::barracuda_500gb(clock.clone());
-        let vibration = disk.vibration();
-        let db = Db::create_with(disk, clock.clone(), db_config)
+        let mut devices_built = 0;
+        let (dev, vibration) = build_device(&clock, chaos, &mut rng, &mut devices_built);
+        // Format the fresh drive with the chaos plan disarmed: injected
+        // faults are a serving-time phenomenon, and a commissioning
+        // burst would abort the whole campaign instead of degrading it.
+        let quiet_dev = {
+            let mut d = dev;
+            d.set_plan(ChaosPlan::quiet());
+            d
+        };
+        let mut db = Db::create_with(quiet_dev, clock.clone(), db_config)
             .map_err(|source| ClusterError::NodeLaunch { node: id, source })?;
+        db.filesystem_mut()
+            .device_mut()
+            .set_plan(chaos.device.clone());
         Ok(StorageNode {
             id,
             rack,
@@ -112,6 +174,10 @@ impl StorageNode {
             busy_until: SimTime::ZERO,
             db_config,
             counters: NodeCounters::default(),
+            chaos: chaos.clone(),
+            rng,
+            retired_chaos: ChaosStats::default(),
+            devices_built,
         })
     }
 
@@ -150,9 +216,50 @@ impl StorageNode {
         self.counters
     }
 
+    /// Device-level chaos counters, including drives since retired.
+    pub fn chaos_stats(&self) -> ChaosStats {
+        let mut total = self.retired_chaos;
+        if let Some(dev) = self.device() {
+            total.merge(&dev.stats());
+        }
+        total
+    }
+
+    /// The current drive's fault trace, in request order (a blank-swap
+    /// retires the trace along with the drive).
+    pub fn fault_trace(&self) -> Vec<ChaosEvent> {
+        self.device()
+            .map(|d| d.trace().to_vec())
+            .unwrap_or_default()
+    }
+
+    fn device(&self) -> Option<&ChaosDisk> {
+        match &self.engine {
+            Engine::Running(db) => Some(db.filesystem().device()),
+            Engine::Stopped(dev) => Some(dev),
+            Engine::Swapping => None,
+        }
+    }
+
+    /// Refreshes the injected-fault counter from the live device.
+    fn refresh_chaos_counters(&mut self) {
+        self.counters.injected_faults = self.chaos_stats().total();
+    }
+
+    /// Flips one seeded bit of `value` in place (no-op on empty values).
+    fn flip_value(rng: &mut SimRng, value: &mut [u8]) {
+        if value.is_empty() {
+            return;
+        }
+        let bit = rng.below(value.len() as u64 * 8) as usize;
+        value[bit / 8] ^= 1 << (bit % 8);
+    }
+
     /// Loads `(key, value)` pairs before the campaign starts: provisioning
     /// time is off the books (`busy_until` is untouched), but the data and
-    /// its on-disk footprint are real.
+    /// its on-disk footprint are real. With a `preload_flip` chaos rate,
+    /// some records are silently stored corrupt — bad state already
+    /// resident when the campaign begins.
     ///
     /// # Errors
     ///
@@ -163,30 +270,58 @@ impl StorageNode {
         pairs: impl IntoIterator<Item = (&'a [u8], &'a [u8])>,
     ) -> Result<(), ClusterError> {
         let id = self.id;
+        let flip = self.chaos.preload_flip;
         let Engine::Running(db) = &mut self.engine else {
             return Err(ClusterError::NodeNotRunning { node: id });
         };
         for (k, v) in pairs {
-            db.put(k, v)
-                .map_err(|source| ClusterError::Provision { node: id, source })?;
+            if flip > 0.0 && self.rng.chance(flip) {
+                let mut bad = v.to_vec();
+                Self::flip_value(&mut self.rng, &mut bad);
+                self.counters.corrupted_writes += 1;
+                db.put(k, &bad)
+            } else {
+                db.put(k, v)
+            }
+            .map_err(|source| ClusterError::Provision { node: id, source })?;
         }
         db.flush()
             .map_err(|source| ClusterError::Provision { node: id, source })
     }
 
-    /// Serves a get dispatched at cluster time `at`.
+    /// Serves a get dispatched at cluster time `at`. With a `get_flip`
+    /// chaos rate, a returned value may be transiently corrupted (the
+    /// stored copy stays fine).
     pub fn serve_get(&mut self, at: SimTime, key: &[u8]) -> ServiceResult {
-        self.serve(at, |db| db.get(key))
+        let mut r = self.serve(at, |db| db.get(key));
+        if r.ok && self.chaos.get_flip > 0.0 {
+            if let Some(v) = r.value.as_mut() {
+                if self.rng.chance(self.chaos.get_flip) {
+                    Self::flip_value(&mut self.rng, v);
+                    self.counters.corrupted_reads += 1;
+                }
+            }
+        }
+        r
     }
 
-    /// Serves a put dispatched at cluster time `at`.
+    /// Serves a put dispatched at cluster time `at`. With a `put_flip`
+    /// chaos rate, the stored value may be silently corrupted — the
+    /// store below checksums the *wrong* bytes faithfully, so only
+    /// end-to-end verification can catch it.
     pub fn serve_put(&mut self, at: SimTime, key: &[u8], value: &[u8]) -> ServiceResult {
+        if self.chaos.put_flip > 0.0 && self.rng.chance(self.chaos.put_flip) {
+            let mut bad = value.to_vec();
+            Self::flip_value(&mut self.rng, &mut bad);
+            self.counters.corrupted_writes += 1;
+            return self.serve(at, |db| db.put(key, &bad).map(|()| None));
+        }
         self.serve(at, |db| db.put(key, value).map(|()| None))
     }
 
     fn serve<F>(&mut self, at: SimTime, f: F) -> ServiceResult
     where
-        F: FnOnce(&mut Db<HddDisk>) -> Result<Option<Vec<u8>>, deepnote_kv::DbError>,
+        F: FnOnce(&mut Db<ChaosDisk>) -> Result<Option<Vec<u8>>, deepnote_kv::DbError>,
     {
         let start = self.busy_until.max(at);
         let Engine::Running(db) = &mut self.engine else {
@@ -202,7 +337,7 @@ impl StorageNode {
         let outcome = f(db);
         let service = self.clock.now().saturating_duration_since(t0);
         self.busy_until = start + service + RTT;
-        match outcome {
+        let result = match outcome {
             Ok(value) => ServiceResult {
                 ok: true,
                 fatal: false,
@@ -221,7 +356,9 @@ impl StorageNode {
                     done: self.busy_until,
                 }
             }
-        }
+        };
+        self.refresh_chaos_counters();
+        result
     }
 
     /// Pulls the disk out of a dead engine so its platters survive the
@@ -235,11 +372,17 @@ impl StorageNode {
         let Engine::Running(mut db) = std::mem::replace(&mut self.engine, Engine::Swapping) else {
             return; // checked above; keeps the move below panic-free
         };
-        let mut disk = HddDisk::barracuda_500gb(self.clock.clone());
-        std::mem::swap(db.filesystem_mut().device_mut(), &mut disk);
-        // `disk` now holds the real device (and the wired vibration
-        // input); the dummy drops with the dead Db.
-        self.engine = Engine::Stopped(disk);
+        // The dummy taking the real device's place needs no chaos: it
+        // drops with the dead Db.
+        let mut dev = ChaosInjector::new(
+            HddDisk::barracuda_500gb(self.clock.clone()),
+            ChaosPlan::quiet(),
+            SimRng::seeded(0),
+        );
+        std::mem::swap(db.filesystem_mut().device_mut(), &mut dev);
+        // `dev` now holds the real device (with its chaos state, stats,
+        // trace, and the wired vibration input).
+        self.engine = Engine::Stopped(dev);
         self.counters.crashes += 1;
     }
 
@@ -270,31 +413,57 @@ impl StorageNode {
             self.busy_until = start + spent;
             self.engine = Engine::Stopped(disk);
             self.counters.failed_restarts += 1;
+            self.refresh_chaos_counters();
             return RestartOutcome::StillDead;
         }
+        // `open_with` consumes the device; snapshot its chaos history
+        // first so a blank swap cannot lose it.
+        let old_stats = disk.stats();
         let outcome = match Db::open_with(disk, self.clock.clone(), self.db_config) {
             Ok(db) => {
                 self.engine = Engine::Running(Box::new(db));
                 RestartOutcome::Recovered
             }
             Err(_) => {
-                // The open consumed the device; commission a blank drive.
-                let blank = HddDisk::barracuda_500gb(self.clock.clone());
-                self.vibration = blank.vibration();
+                // The open consumed the device; commission a blank drive
+                // (wrapped in a fresh chaos stream — new hardware, new
+                // luck) and retire the old one's counters.
+                self.retired_chaos.merge(&old_stats);
+                // Format the replacement with its chaos plan disarmed
+                // (as at launch): commissioning happens on the bench,
+                // not in the blast zone. The plan arms once the engine
+                // is serving.
+                let (mut blank, vibration) = build_device(
+                    &self.clock,
+                    &self.chaos,
+                    &mut self.rng,
+                    &mut self.devices_built,
+                );
+                blank.set_plan(ChaosPlan::quiet());
+                self.vibration = vibration;
                 match Db::create_with(blank, self.clock.clone(), self.db_config) {
-                    Ok(db) => {
+                    Ok(mut db) => {
+                        db.filesystem_mut()
+                            .device_mut()
+                            .set_plan(self.chaos.device.clone());
                         self.engine = Engine::Running(Box::new(db));
                         RestartOutcome::RecoveredBlank
                     }
                     Err(_) => {
                         // Even the blank drive refuses (attack resumed
-                        // mid-boot); stand the node down with it.
-                        let blank = HddDisk::barracuda_500gb(self.clock.clone());
-                        self.vibration = blank.vibration();
+                        // mid-boot); stand the node down with another one.
+                        let (blank, vibration) = build_device(
+                            &self.clock,
+                            &self.chaos,
+                            &mut self.rng,
+                            &mut self.devices_built,
+                        );
+                        self.vibration = vibration;
                         self.engine = Engine::Stopped(blank);
                         self.counters.failed_restarts += 1;
                         let spent = self.clock.now().saturating_duration_since(t0);
                         self.busy_until = start + spent;
+                        self.refresh_chaos_counters();
                         return RestartOutcome::StillDead;
                     }
                 }
@@ -303,8 +472,26 @@ impl StorageNode {
         let spent = self.clock.now().saturating_duration_since(t0);
         self.busy_until = start + spent;
         self.counters.restarts += 1;
+        self.refresh_chaos_counters();
         outcome
     }
+}
+
+/// Builds a fresh chaos-wrapped drive on `clock`, forking a dedicated
+/// RNG stream for it, and returns it with its vibration handle.
+fn build_device(
+    clock: &Clock,
+    chaos: &ChaosProfile,
+    rng: &mut SimRng,
+    devices_built: &mut u64,
+) -> (ChaosDisk, VibrationInput) {
+    let disk = HddDisk::barracuda_500gb(clock.clone());
+    let vibration = disk.vibration();
+    *devices_built += 1;
+    let dev = ChaosInjector::new(disk, chaos.device.clone(), rng.fork(*devices_built))
+        .with_clock(clock.clone())
+        .with_vibration(vibration.clone());
+    (dev, vibration)
 }
 
 /// Modeled network round-trip added to every dispatched request.
@@ -405,5 +592,105 @@ mod tests {
         assert!(!refused.ok && !refused.fatal);
         // Refusal is a round-trip, not a disk timeout.
         assert!(refused.done <= at + SimDuration::from_millis(1));
+    }
+
+    fn corrupting_node(put_flip: f64, get_flip: f64) -> StorageNode {
+        let mut chaos = ChaosProfile::off();
+        chaos.put_flip = put_flip;
+        chaos.get_flip = get_flip;
+        StorageNode::launch_with(
+            0,
+            0,
+            Distance::from_cm(1.0),
+            quick_config(),
+            &chaos,
+            SimRng::seeded(42),
+        )
+        .expect("fresh launch")
+    }
+
+    #[test]
+    fn put_flip_corrupts_durably() {
+        let mut n = corrupting_node(1.0, 0.0);
+        let w = n.serve_put(SimTime::ZERO, b"k", b"value");
+        assert!(w.ok, "the engine happily stores the wrong bytes");
+        assert_eq!(n.counters().corrupted_writes, 1);
+        let r = n.serve_get(w.done, b"k");
+        assert!(r.ok);
+        let got = r.value.expect("a value was stored");
+        assert_ne!(got, b"value", "stored value should be flipped");
+        // Exactly one bit differs: silent, plausible corruption.
+        let diff: u32 = got
+            .iter()
+            .zip(b"value".iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn get_flip_is_transient() {
+        let mut n = corrupting_node(0.0, 1.0);
+        let w = n.serve_put(SimTime::ZERO, b"k", b"value");
+        assert!(w.ok);
+        assert_eq!(n.counters().corrupted_writes, 0);
+        let r1 = n.serve_get(w.done, b"k");
+        assert_ne!(r1.value.as_deref(), Some(&b"value"[..]));
+        assert!(n.counters().corrupted_reads >= 1);
+        // The stored copy is fine: a chaos-free reader would see it —
+        // prove it by turning the flip off.
+        n.chaos.get_flip = 0.0;
+        let r2 = n.serve_get(r1.done, b"k");
+        assert_eq!(r2.value.as_deref(), Some(&b"value"[..]));
+    }
+
+    #[test]
+    fn preload_flip_corrupts_resident_data() {
+        let mut chaos = ChaosProfile::off();
+        chaos.preload_flip = 1.0;
+        let mut n = StorageNode::launch_with(
+            0,
+            0,
+            Distance::from_cm(1.0),
+            quick_config(),
+            &chaos,
+            SimRng::seeded(7),
+        )
+        .expect("fresh launch");
+        n.preload([(b"k".as_slice(), b"value".as_slice())])
+            .expect("preload");
+        assert_eq!(n.counters().corrupted_writes, 1);
+        let r = n.serve_get(SimTime::ZERO, b"k");
+        assert_ne!(r.value.as_deref(), Some(&b"value"[..]));
+    }
+
+    #[test]
+    fn device_chaos_surfaces_in_counters() {
+        use deepnote_blockdev::DelayPlan;
+        let mut chaos = ChaosProfile::off();
+        // Every device request pays extra latency: any serve that does
+        // I/O must show up in the injected-fault counter.
+        chaos.device.delay = Some(DelayPlan {
+            per_request: 1.0,
+            extra: SimDuration::from_millis(1),
+        });
+        let mut n = StorageNode::launch_with(
+            0,
+            0,
+            Distance::from_cm(1.0),
+            quick_config(),
+            &chaos,
+            SimRng::seeded(3),
+        )
+        .expect("fresh launch");
+        // Enough puts to force WAL syncs through the device (the WAL
+        // buffers in memory between syncs, so one put may do no I/O).
+        for i in 0..32u32 {
+            let w = n.serve_put(SimTime::ZERO, &i.to_le_bytes(), b"v");
+            assert!(w.ok);
+        }
+        assert!(n.counters().injected_faults > 0);
+        assert_eq!(n.chaos_stats().total(), n.counters().injected_faults);
+        assert!(!n.fault_trace().is_empty());
     }
 }

@@ -75,6 +75,22 @@ pub struct QuorumOutcome {
     pub fatalities: Vec<NodeId>,
     /// Value from the first in-time ack that had one (reads).
     pub value: Option<Vec<u8>>,
+    /// Every dispatched replica's individual reply, in completion order
+    /// (feeds circuit breakers and end-to-end verification).
+    pub replies: Vec<ReplicaReply>,
+}
+
+/// One replica's reply to a dispatched request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaReply {
+    /// The replica that was dispatched to.
+    pub node: NodeId,
+    /// Whether it served the request within the coordinator's deadline.
+    pub ok: bool,
+    /// When its reply arrived on the cluster timeline.
+    pub done: SimTime,
+    /// The value it returned, if any.
+    pub value: Option<Vec<u8>>,
 }
 
 /// Modeled latency of an operation refused without any dispatch (all
@@ -103,7 +119,7 @@ pub fn quorum_execute(
         OpKind::Read => config.read_quorum,
         OpKind::Write => config.write_quorum,
     };
-    let mut acks: Vec<(SimTime, Option<Vec<u8>>)> = Vec::new();
+    let mut replies: Vec<ReplicaReply> = Vec::new();
     let mut attempted = 0;
     let mut fatalities = Vec::new();
     for &n in shard_replicas {
@@ -118,21 +134,33 @@ pub fn quorum_execute(
         if r.fatal {
             fatalities.push(n);
         }
-        if r.ok && r.done <= deadline {
-            acks.push((r.done, r.value));
-        }
+        replies.push(ReplicaReply {
+            node: n,
+            ok: r.ok && r.done <= deadline,
+            done: r.done,
+            value: r.value,
+        });
     }
-    acks.sort_by_key(|(done, _)| *done);
-    if acks.len() >= quorum {
-        let latency = acks[quorum - 1].0.saturating_duration_since(now);
-        let value = acks.iter().find_map(|(_, v)| v.clone());
+    replies.sort_by_key(|r| (r.done, r.node));
+    let acks = replies.iter().filter(|r| r.ok).count();
+    if acks >= quorum {
+        let latency = replies
+            .iter()
+            .filter(|r| r.ok)
+            .nth(quorum - 1)
+            .map(|r| r.done.saturating_duration_since(now))
+            .unwrap_or(config.request_timeout); // unreachable: acks >= quorum
+        let value = replies
+            .iter()
+            .find_map(|r| if r.ok { r.value.clone() } else { None });
         QuorumOutcome {
             ok: true,
             latency,
-            acks: acks.len(),
+            acks,
             attempted,
             fatalities,
             value,
+            replies,
         }
     } else {
         let latency = if attempted == 0 {
@@ -143,10 +171,11 @@ pub fn quorum_execute(
         QuorumOutcome {
             ok: false,
             latency,
-            acks: acks.len(),
+            acks,
             attempted,
             fatalities,
             value: None,
+            replies,
         }
     }
 }
@@ -158,6 +187,8 @@ pub enum RepairReason {
     Failover,
     /// A restarted replica is catching up on missed writes.
     CatchUp,
+    /// The scrubber found a corrupt or missing copy on the target.
+    Scrub,
 }
 
 /// One shard's pending re-replication onto a target node.
@@ -210,14 +241,14 @@ impl RepairQueue {
     }
 
     /// Enqueues a copy of `shard` onto `target` unless an identical job
-    /// is already pending.
-    pub fn enqueue(&mut self, shard: ShardId, target: NodeId, reason: RepairReason) {
+    /// is already pending; returns whether a new job was added.
+    pub fn enqueue(&mut self, shard: ShardId, target: NodeId, reason: RepairReason) -> bool {
         if self
             .jobs
             .iter()
             .any(|j| j.shard == shard && j.target == target)
         {
-            return;
+            return false;
         }
         self.jobs.push_back(RepairJob {
             shard,
@@ -225,6 +256,7 @@ impl RepairQueue {
             reason,
             cursor: 0,
         });
+        true
     }
 
     /// Drops any pending jobs targeting `node` (it went down again).
@@ -235,7 +267,10 @@ impl RepairQueue {
     /// Runs one bounded repair step at `now`: copies up to `batch` keys
     /// of the front job whose source and target are serviceable. Jobs
     /// without a live source replica stay queued (nothing to copy from
-    /// yet — the co-located failure mode). Returns how many keys moved.
+    /// yet — the co-located failure mode). With `checksums`, every copy
+    /// is verified before it moves: a corrupt source copy is skipped in
+    /// favour of any other replica holding a verified one, so repair
+    /// never propagates corruption. Returns how many keys moved.
     #[allow(clippy::too_many_arguments)]
     pub fn step(
         &mut self,
@@ -246,6 +281,7 @@ impl RepairQueue {
         batch: usize,
         now: SimTime,
         config: &ReplicationConfig,
+        checksums: bool,
     ) -> u64 {
         let deadline = now + config.request_timeout;
         // Find the first runnable job: target serviceable and some other
@@ -280,7 +316,28 @@ impl RepairQueue {
                 break;
             }
             t = read.done;
-            let Some(value) = read.value else {
+            let mut fetched = read.value;
+            if checksums {
+                if let Some(v) = &fetched {
+                    if !crate::integrity::verify(key, v) {
+                        // The designated source holds a corrupt copy:
+                        // hunt the other replicas for a verified one.
+                        let (alt, t2) =
+                            fetch_verified(nodes, map, &job, up, key, source, t, deadline);
+                        t = t2;
+                        match alt {
+                            Some(v) => fetched = Some(v),
+                            None => {
+                                // No clean copy anywhere right now; skip
+                                // the key rather than spread corruption.
+                                self.stats.copy_failures += 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+            let Some(value) = fetched else {
                 // Key never written (or deleted): nothing to copy.
                 continue;
             };
@@ -316,6 +373,39 @@ impl RepairQueue {
             .copied()
             .find(|&n| n != job.target && up[n] && nodes[n].busy_until() <= deadline)
     }
+}
+
+/// Reads `key` from the other serviceable replicas of `job`'s shard
+/// until one returns a copy that passes end-to-end verification. The
+/// extra reads are charged in virtual time (returned alongside the
+/// value) — verified repair is not free.
+#[allow(clippy::too_many_arguments)]
+fn fetch_verified(
+    nodes: &mut [StorageNode],
+    map: &ShardMap,
+    job: &RepairJob,
+    up: &[bool],
+    key: &[u8],
+    tried: NodeId,
+    mut t: SimTime,
+    deadline: SimTime,
+) -> (Option<Vec<u8>>, SimTime) {
+    for &n in map.replicas(job.shard) {
+        if n == job.target || n == tried || !up[n] || nodes[n].busy_until() > deadline {
+            continue;
+        }
+        let read = nodes[n].serve_get(t, key);
+        if !read.ok {
+            continue;
+        }
+        t = read.done;
+        if let Some(v) = read.value {
+            if crate::integrity::verify(key, &v) {
+                return (Some(v), t);
+            }
+        }
+    }
+    (None, t)
 }
 
 #[cfg(test)]
@@ -455,7 +545,7 @@ mod tests {
         let cfg = ReplicationConfig::majority(2);
         let mut total = 0;
         for _ in 0..8 {
-            total += q.step(&mut ns, &map, &up, &shard_keys, 4, t, &cfg);
+            total += q.step(&mut ns, &map, &up, &shard_keys, 4, t, &cfg, false);
             t += SimDuration::from_millis(100);
         }
         assert_eq!(total, 10);
@@ -484,9 +574,53 @@ mod tests {
         // The only source (node 0) is down: nothing moves, job stays.
         let up = vec![false, true];
         let cfg = ReplicationConfig::majority(1);
-        let moved = q.step(&mut ns, &map, &up, &shard_keys, 8, SimTime::ZERO, &cfg);
+        let moved = q.step(
+            &mut ns,
+            &map,
+            &up,
+            &shard_keys,
+            8,
+            SimTime::ZERO,
+            &cfg,
+            false,
+        );
         assert_eq!(moved, 0);
         assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn checksummed_repair_refuses_a_corrupt_source() {
+        use crate::integrity;
+        // Three replicas of shard 0; node 0 (the preferred source) holds
+        // a corrupt copy, node 1 a verified one, node 2 is the target.
+        let mut ns = nodes(3);
+        let topo = Topology::build(&[RackSpec {
+            distance_cm: 1.0,
+            spacing_cm: 1.0,
+            nodes: 3,
+        }]);
+        let map = ShardMap::build(&topo, 1, 3, PlacementPolicy::CoLocated);
+        let key = b"k".to_vec();
+        let sealed = integrity::seal(&key, b"payload");
+        let mut corrupt = sealed.clone();
+        corrupt[0] ^= 0x01;
+        assert!(ns[0].serve_put(SimTime::ZERO, &key, &corrupt).ok);
+        assert!(ns[1].serve_put(SimTime::ZERO, &key, &sealed).ok);
+        let shard_keys = vec![vec![key.clone()]];
+        let mut q = RepairQueue::new();
+        q.enqueue(0, 2, RepairReason::Scrub);
+        let up = vec![true; 3];
+        let cfg = ReplicationConfig::majority(3);
+        let mut t = SimTime::from_secs(1);
+        let mut moved = 0;
+        for _ in 0..4 {
+            moved += q.step(&mut ns, &map, &up, &shard_keys, 4, t, &cfg, true);
+            t += SimDuration::from_millis(100);
+        }
+        assert_eq!(moved, 1);
+        // The target received the verified copy, not the corrupt one.
+        let r = ns[2].serve_get(t, &key);
+        assert_eq!(r.value.as_deref(), Some(&sealed[..]));
     }
 
     #[test]

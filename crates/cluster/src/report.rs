@@ -1,9 +1,12 @@
-//! Campaign results and their human-readable rendering.
+//! Campaign results, their human-readable rendering, and a dependency-
+//! free JSON serialization for machine consumers (CI artifacts).
 
-use crate::metrics::ClusterMetrics;
+use crate::integrity::{IntegrityStats, ScrubStats};
+use crate::metrics::{ClusterMetrics, OpClassMetrics, ResilienceStats};
 use crate::node::NodeCounters;
 use crate::placement::PlacementPolicy;
 use crate::replication::RepairStats;
+use deepnote_blockdev::{ChaosEvent, ChaosStats};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -30,6 +33,19 @@ pub struct CampaignReport {
     pub final_unavailable_shards: usize,
     /// Control-plane event log.
     pub events: Vec<String>,
+    /// Resilient-client counters, when the campaign ran one.
+    pub resilience: Option<ResilienceStats>,
+    /// End-to-end integrity outcomes (checksum detections, read repairs,
+    /// oracle verdicts).
+    pub integrity: IntegrityStats,
+    /// Background scrubber totals.
+    pub scrub: ScrubStats,
+    /// Per-device fault-injection counters, in node-id order.
+    pub chaos: Vec<ChaosStats>,
+    /// Per-device fault traces, in request order (bounded per device).
+    pub fault_traces: Vec<Vec<ChaosEvent>>,
+    /// Repair jobs still queued when the campaign ended.
+    pub pending_repairs: usize,
 }
 
 impl CampaignReport {
@@ -50,6 +66,20 @@ impl CampaignReport {
             .copied()
             .max()
             .unwrap_or(0)
+    }
+
+    /// Device fault-injection counters summed across all nodes.
+    pub fn total_chaos(&self) -> ChaosStats {
+        let mut sum = ChaosStats::default();
+        for s in &self.chaos {
+            sum.merge(s);
+        }
+        sum
+    }
+
+    /// Total device faults injected across the cluster.
+    pub fn total_injected_faults(&self) -> u64 {
+        self.total_chaos().total()
     }
 
     /// Renders the full report as fixed-width text.
@@ -103,6 +133,74 @@ impl CampaignReport {
             self.repair.bytes_copied,
             self.repair.copy_failures
         );
+        let chaos = self.total_chaos();
+        if chaos.total() > 0 {
+            let _ = writeln!(
+                out,
+                "chaos: {} device faults injected ({} burst errors, {} drops, {} delays, {} read flips, {} write flips, {} torn, {} misdirected)",
+                chaos.total(),
+                chaos.burst_errors,
+                chaos.burst_drops,
+                chaos.delays,
+                chaos.read_flips,
+                chaos.write_flips,
+                chaos.torn_writes,
+                chaos.misdirected_writes
+            );
+        }
+        let (cw, cr) = self.node_counters.iter().fold((0u64, 0u64), |(w, r), c| {
+            (w + c.corrupted_writes, r + c.corrupted_reads)
+        });
+        if cw + cr > 0 {
+            let _ = writeln!(
+                out,
+                "data-path corruption injected: {cw} durable write flips, {cr} transient read flips"
+            );
+        }
+        let ig = &self.integrity;
+        if ig.corrupt_acks + ig.read_repairs + ig.unserveable_reads + ig.oracle_checked > 0 {
+            let _ = writeln!(
+                out,
+                "integrity: {} corrupt acks rejected, {} read repairs ({} failed), {} unserveable reads; oracle: {} checked, {} wrong",
+                ig.corrupt_acks,
+                ig.read_repairs,
+                ig.read_repair_failures,
+                ig.unserveable_reads,
+                ig.oracle_checked,
+                ig.oracle_wrong
+            );
+        }
+        if self.scrub.keys_scanned > 0 {
+            let _ = writeln!(
+                out,
+                "scrub: {} keys scanned over {} passes, {} replicas read ({} bytes), {} corrupt + {} missing found, {} repairs enqueued",
+                self.scrub.keys_scanned,
+                self.scrub.passes,
+                self.scrub.replicas_read,
+                self.scrub.bytes_read,
+                self.scrub.corrupt_found,
+                self.scrub.missing_found,
+                self.scrub.repairs_enqueued
+            );
+        }
+        if let Some(rs) = &self.resilience {
+            let _ = writeln!(
+                out,
+                "client: {} ops in {} attempts, {} retries ({} recovered), {} hedges ({} won), {} breaker trips ({} dispatches denied), {} deadline-exhausted",
+                rs.ops,
+                rs.attempts,
+                rs.retries,
+                rs.recovered_by_retry,
+                rs.hedges,
+                rs.hedges_won,
+                rs.breaker_trips,
+                rs.breaker_denied,
+                rs.deadline_exhausted
+            );
+        }
+        if self.pending_repairs > 0 {
+            let _ = writeln!(out, "repair jobs still pending: {}", self.pending_repairs);
+        }
         let _ = writeln!(
             out,
             "shards below write quorum at campaign end: {}",
@@ -116,6 +214,204 @@ impl CampaignReport {
         }
         out
     }
+
+    /// Serializes the report as a JSON object with a stable key order,
+    /// written by hand so machine consumers (CI artifacts, plotting
+    /// scripts) need no extra dependencies on our side. Identical
+    /// campaigns produce byte-identical JSON.
+    pub fn to_json(&self) -> String {
+        let mut j = String::with_capacity(4096);
+        j.push('{');
+        json_str(&mut j, "label", &self.label);
+        j.push(',');
+        json_str(&mut j, "placement", self.placement.label());
+        j.push(',');
+        let _ = write!(j, "\"seed\":{}", self.seed);
+        j.push(',');
+        j.push_str("\"phases\":[");
+        for (i, p) in self.metrics.phases.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            j.push('{');
+            json_str(&mut j, "label", &p.label);
+            let _ = write!(
+                j,
+                ",\"goodput_ops_per_s\":{},\"success_ratio\":{},\"max_unavailable\":{},",
+                json_f64(p.goodput_ops_per_s()),
+                json_f64(p.success_ratio()),
+                self.max_unavailable_by_phase.get(i).copied().unwrap_or(0)
+            );
+            j.push_str("\"reads\":");
+            json_op_class(&mut j, &p.reads);
+            j.push_str(",\"writes\":");
+            json_op_class(&mut j, &p.writes);
+            j.push('}');
+        }
+        j.push_str("],\"availability\":[");
+        for (i, s) in self.metrics.availability.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            let _ = write!(
+                j,
+                "{{\"at_s\":{},\"ratio\":{},\"attempted\":{}}}",
+                json_f64(s.at_s),
+                json_f64(s.ratio),
+                s.attempted
+            );
+        }
+        j.push_str("],\"nodes\":[");
+        for (i, c) in self.node_counters.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            let _ = write!(
+                j,
+                "{{\"crashes\":{},\"restarts\":{},\"failed_restarts\":{},\"injected_faults\":{},\"corrupted_writes\":{},\"corrupted_reads\":{}}}",
+                c.crashes, c.restarts, c.failed_restarts, c.injected_faults, c.corrupted_writes, c.corrupted_reads
+            );
+        }
+        j.push_str("],\"chaos\":[");
+        for (i, s) in self.chaos.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            let _ = write!(
+                j,
+                "{{\"burst_errors\":{},\"burst_drops\":{},\"delays\":{},\"delay_total_ms\":{},\"read_flips\":{},\"write_flips\":{},\"torn_writes\":{},\"misdirected_writes\":{}}}",
+                s.burst_errors,
+                s.burst_drops,
+                s.delays,
+                json_f64(s.delay_total.as_nanos() as f64 / 1_000_000.0),
+                s.read_flips,
+                s.write_flips,
+                s.torn_writes,
+                s.misdirected_writes
+            );
+        }
+        j.push_str("],\"fault_trace_lengths\":[");
+        for (i, t) in self.fault_traces.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            let _ = write!(j, "{}", t.len());
+        }
+        let _ = write!(
+            j,
+            "],\"repair\":{{\"jobs_done\":{},\"keys_copied\":{},\"bytes_copied\":{},\"copy_failures\":{}}},\"pending_repairs\":{},\"failovers\":{},\"final_unavailable_shards\":{},\"worst_unavailable_shards\":{},",
+            self.repair.jobs_done,
+            self.repair.keys_copied,
+            self.repair.bytes_copied,
+            self.repair.copy_failures,
+            self.pending_repairs,
+            self.failovers,
+            self.final_unavailable_shards,
+            self.worst_unavailable_shards()
+        );
+        let ig = &self.integrity;
+        let _ = write!(
+            j,
+            "\"integrity\":{{\"corrupt_acks\":{},\"read_repairs\":{},\"read_repair_failures\":{},\"unserveable_reads\":{},\"oracle_checked\":{},\"oracle_wrong\":{}}},",
+            ig.corrupt_acks,
+            ig.read_repairs,
+            ig.read_repair_failures,
+            ig.unserveable_reads,
+            ig.oracle_checked,
+            ig.oracle_wrong
+        );
+        let sc = &self.scrub;
+        let _ = write!(
+            j,
+            "\"scrub\":{{\"keys_scanned\":{},\"replicas_read\":{},\"bytes_read\":{},\"corrupt_found\":{},\"missing_found\":{},\"repairs_enqueued\":{},\"passes\":{}}},",
+            sc.keys_scanned,
+            sc.replicas_read,
+            sc.bytes_read,
+            sc.corrupt_found,
+            sc.missing_found,
+            sc.repairs_enqueued,
+            sc.passes
+        );
+        match &self.resilience {
+            Some(rs) => {
+                let _ = write!(
+                    j,
+                    "\"resilience\":{{\"ops\":{},\"attempts\":{},\"retries\":{},\"recovered_by_retry\":{},\"hedges\":{},\"hedges_won\":{},\"breaker_trips\":{},\"breaker_denied\":{},\"deadline_exhausted\":{}}},",
+                    rs.ops,
+                    rs.attempts,
+                    rs.retries,
+                    rs.recovered_by_retry,
+                    rs.hedges,
+                    rs.hedges_won,
+                    rs.breaker_trips,
+                    rs.breaker_denied,
+                    rs.deadline_exhausted
+                );
+            }
+            None => j.push_str("\"resilience\":null,"),
+        }
+        j.push_str("\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            push_json_string(&mut j, e);
+        }
+        j.push_str("]}");
+        j
+    }
+}
+
+/// Writes `"key":"escaped value"`.
+fn json_str(out: &mut String, key: &str, value: &str) {
+    push_json_string(out, key);
+    out.push(':');
+    push_json_string(out, value);
+}
+
+/// Appends a JSON string literal with escaping.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A finite `f64` as a JSON number (non-finite values become `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One op class as a JSON object (percentiles may be `null`).
+fn json_op_class(out: &mut String, c: &OpClassMetrics) {
+    let pct = |p: f64| {
+        c.percentile_ms(p)
+            .map_or_else(|| "null".to_string(), json_f64)
+    };
+    let _ = write!(
+        out,
+        "{{\"attempted\":{},\"ok\":{},\"slo_ok\":{},\"p50_ms\":{},\"p99_ms\":{}}}",
+        c.attempted,
+        c.ok,
+        c.slo_ok,
+        pct(50.0),
+        pct(99.0)
+    );
 }
 
 /// Renders several runs side by side: one availability row per run, then
@@ -188,6 +484,7 @@ mod tests {
                     crashes: 2,
                     restarts: 1,
                     failed_restarts: 3,
+                    ..NodeCounters::default()
                 },
                 NodeCounters::default(),
             ],
@@ -195,6 +492,12 @@ mod tests {
             max_unavailable_by_phase: vec![0, 3],
             final_unavailable_shards: 1,
             events: vec!["t=   12.0s  node 0 crashed".into()],
+            resilience: None,
+            integrity: IntegrityStats::default(),
+            scrub: ScrubStats::default(),
+            chaos: vec![ChaosStats::default(), ChaosStats::default()],
+            fault_traces: vec![Vec::new(), Vec::new()],
+            pending_repairs: 0,
         }
     }
 
@@ -213,6 +516,32 @@ mod tests {
         assert!(text.contains("attack"));
         assert!(text.contains("4 failovers"));
         assert!(text.contains("node 0 crashed"));
+    }
+
+    #[test]
+    fn json_has_stable_keys_and_escapes_strings() {
+        let mut r = tiny_report();
+        r.events.push("quote \" and\nnewline".into());
+        let a = r.to_json();
+        assert_eq!(a, r.to_json(), "serialization must be deterministic");
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"label\":\"test\""));
+        assert!(a.contains("\"placement\":\"separated\""));
+        assert!(a.contains("\\\" and\\nnewline"));
+        assert!(a.contains("\"resilience\":null"));
+        assert!(a.contains("\"oracle_wrong\":0"));
+        // The write phase had no successful ops: percentile present,
+        // since attempts are recorded regardless of success.
+        assert!(a.contains("\"p99_ms\":"));
+    }
+
+    #[test]
+    fn render_only_mentions_chaos_when_faults_were_injected() {
+        let mut r = tiny_report();
+        assert!(!r.render().contains("chaos:"));
+        r.chaos[0].read_flips = 5;
+        let text = r.render();
+        assert!(text.contains("chaos: 5 device faults injected"));
     }
 
     #[test]

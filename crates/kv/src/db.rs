@@ -214,6 +214,11 @@ impl<D: BlockDevice> Db<D> {
         &self.clock
     }
 
+    /// The underlying filesystem (diagnostics, device counters).
+    pub fn filesystem(&self) -> &Filesystem<D> {
+        &self.fs
+    }
+
     /// The underlying filesystem (attack wiring, diagnostics).
     pub fn filesystem_mut(&mut self) -> &mut Filesystem<D> {
         &mut self.fs

@@ -244,6 +244,25 @@ mod tests {
     }
 
     #[test]
+    fn chaos_layer_modules_are_policed() {
+        // The fault-injection and integrity modules live inside crates
+        // already under the determinism and panic-free regimes; prove
+        // the scoping actually reaches them so a refactor cannot
+        // silently move them out of coverage.
+        let nondet = "use std::collections::HashMap;";
+        let panicky = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        for path in [
+            "crates/blockdev/src/chaos.rs",
+            "crates/cluster/src/chaos.rs",
+            "crates/cluster/src/integrity.rs",
+            "crates/cluster/src/client.rs",
+        ] {
+            assert_eq!(run_on(path, nondet).len(), 1, "{path} nondet uncovered");
+            assert_eq!(run_on(path, panicky).len(), 1, "{path} panic uncovered");
+        }
+    }
+
+    #[test]
     fn panic_rule_exempts_tests_and_bins() {
         let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
         assert_eq!(run_on("crates/kv/src/db.rs", src).len(), 1);
