@@ -1,0 +1,71 @@
+//! ABL-TELEMETRY: what observability costs — the same attack campaign
+//! with telemetry disabled, with full tracing, and with tracing plus
+//! metrics scraping, so "zero overhead when disabled" is a measured
+//! number, not a slogan.
+//!
+//! Before timing anything, the bench proves the disabled-telemetry run
+//! produces the same report as a config that never mentions telemetry
+//! at all, and that a traced run leaves the campaign results untouched.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepnote_cluster::prelude::*;
+use deepnote_sim::SimDuration;
+use std::hint::black_box;
+
+fn base_config() -> CampaignConfig {
+    let mut c = CampaignConfig::paper_duel(PlacementPolicy::CoLocated, SimDuration::from_secs(30));
+    c.workload.num_keys = 240;
+    c.workload.clients = 4;
+    c
+}
+
+fn traced_config() -> CampaignConfig {
+    let mut c = base_config();
+    c.telemetry.trace = true;
+    c
+}
+
+fn scraped_config() -> CampaignConfig {
+    let mut c = traced_config();
+    c.telemetry.metrics_interval = Some(SimDuration::from_millis(100));
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    // Correctness gate: disabled telemetry is the default, and enabling
+    // it must not change what the campaign reports.
+    let baseline = run_campaign(&base_config()).expect("campaign");
+    let traced = run_campaign(&traced_config()).expect("campaign");
+    assert_eq!(
+        baseline.render(),
+        traced.render(),
+        "tracing perturbed the campaign"
+    );
+    assert!(traced.trace.is_some(), "traced run recorded no trace");
+    println!(
+        "\ntrace: {} events; alerts: {} transitions\n",
+        traced.trace.as_ref().map_or(0, |t| t.events.len()),
+        traced.alerts.len()
+    );
+    let disabled = base_config();
+    let tracing = traced_config();
+    let scraping = scraped_config();
+    c.bench_function("abl_telemetry/campaign_disabled", |b| {
+        b.iter(|| black_box(run_campaign(&disabled)))
+    });
+    c.bench_function("abl_telemetry/campaign_traced", |b| {
+        b.iter(|| black_box(run_campaign(&tracing)))
+    });
+    c.bench_function("abl_telemetry/campaign_traced_and_scraped", |b| {
+        b.iter(|| black_box(run_campaign(&scraping)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -33,7 +33,8 @@
 use crate::device::{BlockDevice, BLOCK_SIZE};
 use crate::error::IoError;
 use deepnote_hdd::VibrationInput;
-use deepnote_sim::{Clock, SimDuration, SimRng};
+use deepnote_sim::{Clock, SimDuration, SimRng, SimTime};
+use deepnote_telemetry::{Layer, Tracer, Value};
 use serde::{Deserialize, Serialize};
 
 /// Which requests a fault applies to.
@@ -143,6 +144,21 @@ pub enum ChaosFault {
     MisdirectedWrite,
 }
 
+impl ChaosFault {
+    /// Stable name for traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosFault::BurstError => "burst_error",
+            ChaosFault::BurstDrop => "burst_drop",
+            ChaosFault::Delay => "delay",
+            ChaosFault::ReadFlip => "read_flip",
+            ChaosFault::WriteFlip => "write_flip",
+            ChaosFault::TornWrite => "torn_write",
+            ChaosFault::MisdirectedWrite => "misdirected_write",
+        }
+    }
+}
+
 /// One injected fault, in request order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChaosEvent {
@@ -240,6 +256,8 @@ pub struct ChaosInjector<D> {
     requests: u64,
     stats: ChaosStats,
     trace: Vec<ChaosEvent>,
+    tracer: Tracer,
+    track: u32,
 }
 
 impl<D: BlockDevice> ChaosInjector<D> {
@@ -256,6 +274,8 @@ impl<D: BlockDevice> ChaosInjector<D> {
             requests: 0,
             stats: ChaosStats::default(),
             trace: Vec::new(),
+            tracer: Tracer::disabled(),
+            track: 0,
         }
     }
 
@@ -328,6 +348,15 @@ impl<D: BlockDevice> ChaosInjector<D> {
         (p * (1.0 + self.plan.vibration_boost * g)).min(1.0)
     }
 
+    /// Attaches a tracer; every injected fault becomes a blockdev-layer
+    /// instant on `track`, timestamped by the attached clock (the same
+    /// clock latency inflation charges), so fault injection and its
+    /// mechanical consequences line up on one timeline.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: u32) {
+        self.tracer = tracer;
+        self.track = track;
+    }
+
     fn record(&mut self, fault: ChaosFault, lba: u64) {
         if self.trace.len() < MAX_TRACE_EVENTS {
             self.trace.push(ChaosEvent {
@@ -335,6 +364,20 @@ impl<D: BlockDevice> ChaosInjector<D> {
                 fault,
                 lba,
             });
+        }
+        if self.tracer.enabled(Layer::Blockdev) {
+            let at = self.clock.as_ref().map(Clock::now).unwrap_or(SimTime::ZERO);
+            self.tracer.instant(
+                Layer::Blockdev,
+                self.track,
+                "chaos_fault",
+                at,
+                vec![
+                    ("fault", Value::Str(fault.name())),
+                    ("lba", Value::U64(lba)),
+                    ("request", Value::U64(self.requests)),
+                ],
+            );
         }
     }
 

@@ -8,7 +8,8 @@
 use crate::device::{check_request, BlockDevice, BLOCK_SIZE};
 use crate::error::IoError;
 use deepnote_hdd::{DiskOp, HardDiskDrive, VibrationInput};
-use deepnote_sim::Clock;
+use deepnote_sim::{Clock, SimTime};
+use deepnote_telemetry::{Layer, Tracer, Value};
 use std::collections::BTreeMap;
 
 /// A block device backed by the mechanical drive model.
@@ -32,6 +33,8 @@ pub struct HddDisk {
     blocks: BTreeMap<u64, Box<[u8; BLOCK_SIZE]>>,
     read_errors: u64,
     write_errors: u64,
+    tracer: Tracer,
+    track: u32,
 }
 
 impl HddDisk {
@@ -42,6 +45,8 @@ impl HddDisk {
             blocks: BTreeMap::new(),
             read_errors: 0,
             write_errors: 0,
+            tracer: Tracer::disabled(),
+            track: 0,
         }
     }
 
@@ -79,6 +84,62 @@ impl HddDisk {
     pub fn write_errors(&self) -> u64 {
         self.write_errors
     }
+
+    /// Attaches a tracer; events carry `track` (the owning node's id).
+    /// Degraded I/O (retries, errors) lands on the `hdd` layer, request
+    /// failures on the `blockdev` layer. Timestamps are this device's
+    /// private clock; the node's dispatch offset maps them onto the
+    /// cluster timeline.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: u32) {
+        self.tracer = tracer;
+        self.track = track;
+    }
+
+    /// One degraded or failed mechanical op, as an hdd-layer span from
+    /// dispatch to completion with the servo state that explains it.
+    fn trace_io(&self, op: &'static str, t0: SimTime, retries: u64, outcome: &'static str) {
+        if !self.tracer.enabled(Layer::Hdd) {
+            return;
+        }
+        let now = self.drive.clock().now();
+        let offtrack_nm = self
+            .drive
+            .vibration()
+            .current()
+            .map(|v| self.drive.servo().residual_offtrack_nm(&v))
+            .unwrap_or(0.0);
+        self.tracer.span(
+            Layer::Hdd,
+            self.track,
+            "degraded_io",
+            t0,
+            now.saturating_duration_since(t0),
+            vec![
+                ("op", Value::Str(op)),
+                ("outcome", Value::Str(outcome)),
+                ("retries", Value::U64(retries)),
+                ("offtrack_nm", Value::F64(offtrack_nm)),
+            ],
+        );
+    }
+
+    /// A blockdev-layer instant for a request the drive failed.
+    fn trace_error(&self, op: &'static str, lba: u64, error: IoError) {
+        if !self.tracer.enabled(Layer::Blockdev) {
+            return;
+        }
+        self.tracer.instant(
+            Layer::Blockdev,
+            self.track,
+            "io_error",
+            self.drive.clock().now(),
+            vec![
+                ("op", Value::Str(op)),
+                ("lba", Value::U64(lba)),
+                ("error", Value::Text(format!("{error:?}"))),
+            ],
+        );
+    }
 }
 
 impl BlockDevice for HddDisk {
@@ -88,9 +149,20 @@ impl BlockDevice for HddDisk {
 
     fn read_blocks(&mut self, lba: u64, buf: &mut [u8]) -> Result<(), IoError> {
         let blocks = check_request(self.num_blocks(), lba, buf.len())?;
-        if let Err(e) = self.drive.execute(DiskOp::read(lba, blocks)) {
-            self.read_errors += 1;
-            return Err(e.into());
+        let t0 = self.drive.clock().now();
+        match self.drive.execute(DiskOp::read(lba, blocks)) {
+            Ok(report) => {
+                if report.retries > 0 {
+                    self.trace_io("read", t0, u64::from(report.retries), "recovered");
+                }
+            }
+            Err(e) => {
+                self.read_errors += 1;
+                self.trace_io("read", t0, 0, "error");
+                let io: IoError = e.into();
+                self.trace_error("read", lba, io);
+                return Err(io);
+            }
         }
         for i in 0..blocks {
             let dst = &mut buf[(i as usize) * BLOCK_SIZE..][..BLOCK_SIZE];
@@ -104,9 +176,20 @@ impl BlockDevice for HddDisk {
 
     fn write_blocks(&mut self, lba: u64, buf: &[u8]) -> Result<(), IoError> {
         let blocks = check_request(self.num_blocks(), lba, buf.len())?;
-        if let Err(e) = self.drive.execute(DiskOp::write(lba, blocks)) {
-            self.write_errors += 1;
-            return Err(e.into());
+        let t0 = self.drive.clock().now();
+        match self.drive.execute(DiskOp::write(lba, blocks)) {
+            Ok(report) => {
+                if report.retries > 0 {
+                    self.trace_io("write", t0, u64::from(report.retries), "recovered");
+                }
+            }
+            Err(e) => {
+                self.write_errors += 1;
+                self.trace_io("write", t0, 0, "error");
+                let io: IoError = e.into();
+                self.trace_error("write", lba, io);
+                return Err(io);
+            }
         }
         for i in 0..blocks {
             let src = &buf[(i as usize) * BLOCK_SIZE..][..BLOCK_SIZE];

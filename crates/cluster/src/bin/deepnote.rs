@@ -13,7 +13,8 @@
 //! deepnote redundancy
 //! deepnote fleet [--drives N] [--spacing-cm S]
 //! deepnote cluster [--placement P] [--seconds N] [--clients N] [--shards N] [--seed S]
-//!                  [--chaos C] [--json FILE]
+//!                  [--chaos C] [--json FILE] [--trace FILE] [--metrics-interval T]
+//! deepnote trace-check [--trace FILE] [--report FILE]
 //! deepnote all
 //! ```
 
@@ -31,6 +32,7 @@ use deepnote_core::{defense, report};
 use deepnote_kv::bench::BenchSpec;
 use deepnote_sim::SimDuration;
 use deepnote_structures::Scenario;
+use deepnote_telemetry::{export_chrome_trace, schema, TraceLog};
 use std::process::ExitCode;
 
 /// Minimal flag parsing: `--name value` pairs after the subcommand.
@@ -70,6 +72,31 @@ impl Args {
     fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|(n, _)| n == name)
     }
+
+    fn string(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses an interval flag: a bare number means seconds, and `s`, `ms`,
+/// and `us` suffixes are accepted (`100ms`, `2s`, `500us`).
+fn parse_interval(v: &str) -> Result<SimDuration, String> {
+    let (num, nanos_per_unit) = if let Some(n) = v.strip_suffix("ms") {
+        (n, 1_000_000u64)
+    } else if let Some(n) = v.strip_suffix("us") {
+        (n, 1_000u64)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1_000_000_000u64)
+    } else {
+        (v, 1_000_000_000u64)
+    };
+    let n: u64 = num
+        .parse()
+        .map_err(|_| format!("bad interval: {v} (try 100ms, 2s, 500us)"))?;
+    Ok(SimDuration::from_nanos(n.saturating_mul(nanos_per_unit)))
 }
 
 const USAGE: &str = "\
@@ -94,9 +121,13 @@ COMMANDS:
                [--placement separated|colocated|both] [--seconds N]
                [--clients N] [--shards N] [--seed S]
                [--chaos off|transient|corruption|full] [--json FILE]
+               [--trace FILE] [--metrics-interval 100ms]
                with --chaos, each placement runs twice: full defense
                stack (checksums, scrub, read repair, resilient client)
-               vs the naive one-shot quorum path
+               vs the naive one-shot quorum path; --trace writes a
+               Chrome/Perfetto trace of every layer, --metrics-interval
+               scrapes per-node series into the JSON report
+  trace-check  validate telemetry artifacts            [--trace FILE] [--report FILE]
   all          everything above (except TSV dumps)
 ";
 
@@ -237,10 +268,17 @@ fn run(cmd: &str, args: &Args) -> Result<(), String> {
             let chaos = ChaosProfile::parse(&chaos_name).ok_or_else(|| {
                 format!("bad value for --chaos: {chaos_name} (off|transient|corruption|full)")
             })?;
+            let trace_path = args.string("trace").map(str::to_string);
+            let metrics_interval = match args.string("metrics-interval") {
+                Some(v) => Some(parse_interval(v)?),
+                None => None,
+            };
             let tune = |mut c: CampaignConfig| -> Result<CampaignConfig, String> {
                 c.seed = args.get("seed", c.seed)?;
                 c.workload.clients = args.get("clients", c.workload.clients)?;
                 c.cluster.num_shards = args.get("shards", c.cluster.num_shards)?;
+                c.telemetry.trace = trace_path.is_some();
+                c.telemetry.metrics_interval = metrics_interval;
                 Ok(c)
             };
             let placements = match placement.as_str() {
@@ -279,6 +317,43 @@ fn run(cmd: &str, args: &Args) -> Result<(), String> {
                 std::fs::write(path, format!("[{body}]\n"))
                     .map_err(|e| format!("writing {path}: {e}"))?;
                 eprintln!("wrote {} report(s) to {path}", reports.len());
+            }
+            if let Some(path) = &trace_path {
+                let runs: Vec<(&str, &TraceLog)> = reports
+                    .iter()
+                    .filter_map(|r| r.trace.as_ref().map(|t| (r.label.as_str(), t)))
+                    .collect();
+                std::fs::write(path, export_chrome_trace(&runs))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("wrote trace of {} run(s) to {path}", runs.len());
+            }
+        }
+        "trace-check" => {
+            let trace_path = args.string("trace");
+            let report_path = args.string("report");
+            if trace_path.is_none() && report_path.is_none() {
+                return Err("trace-check needs --trace FILE and/or --report FILE".to_string());
+            }
+            if let Some(path) = trace_path {
+                let body =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                let s = schema::validate_trace(&body).map_err(|e| format!("{path}: {e}"))?;
+                println!(
+                    "{path}: OK — {} events ({} spans, {} instants), layers: {}",
+                    s.events,
+                    s.spans,
+                    s.instants,
+                    s.layers.join(", ")
+                );
+            }
+            if let Some(path) = report_path {
+                let body =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                let s = schema::validate_report(&body).map_err(|e| format!("{path}: {e}"))?;
+                println!(
+                    "{path}: OK — {} run(s), {} alert transition(s) ({} raised), {} metric series",
+                    s.runs, s.alerts, s.raised, s.series
+                );
             }
         }
         "all" => {

@@ -22,11 +22,15 @@ use crate::error::ClusterError;
 use crate::integrity::IntegrityConfig;
 use crate::metrics::{ClusterMetrics, PhaseMetrics};
 use crate::placement::PlacementPolicy;
-use crate::report::CampaignReport;
+use crate::report::{CampaignReport, EarlyWarning};
 use crate::timeline::AttackTimeline;
 use crate::workload::{ClientPool, WorkloadSpec};
 use deepnote_core::parallel::try_run_all;
 use deepnote_sim::{SimDuration, SimRng, SimTime};
+use deepnote_telemetry::{
+    BurnRateMonitor, Layer, MetricId, MetricKind, MetricsRegistry, SloPolicy, Tracer, Value,
+    CONTROL_TRACK,
+};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -39,6 +43,36 @@ const CHAOS_SALT: u64 = 0xC4A0_5EED_D15C_0DE5;
 /// Salt folded into the root seed for the resilient client's RNG
 /// (backoff jitter), independent of both workload and chaos streams.
 const CLIENT_SALT: u64 = 0xBAC0_FF5A_17ED_B175;
+
+/// Observability settings for one campaign run. Everything here is a
+/// pure observer: enabling tracing or metrics scraping never changes
+/// what the campaign does, only what it records.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Record a cross-layer trace (spans and instants from every
+    /// instrumented layer, exportable as Chrome trace-event JSON).
+    pub trace: bool,
+    /// Ring-buffer capacity for trace events; when full, the earliest
+    /// window is kept and later events are counted as dropped.
+    pub trace_cap: usize,
+    /// Scrape the unified metrics registry at this fixed interval
+    /// (`None` disables scraping; the report's series come out empty).
+    pub metrics_interval: Option<SimDuration>,
+    /// Burn-rate alerting policy for the SLO monitor (always on — the
+    /// monitor only observes op outcomes the campaign already records).
+    pub slo: SloPolicy,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            trace: false,
+            trace_cap: 1 << 16,
+            metrics_interval: None,
+            slo: SloPolicy::default(),
+        }
+    }
+}
 
 /// Everything one campaign run needs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,6 +106,8 @@ pub struct CampaignConfig {
     /// Check every successful read against the workload oracle and
     /// count wrong answers in the integrity stats.
     pub verify_responses: bool,
+    /// Tracing, metrics scraping, and SLO alerting knobs.
+    pub telemetry: TelemetryConfig,
     /// Root RNG seed; fixes every client stream.
     pub seed: u64,
 }
@@ -95,6 +131,7 @@ impl CampaignConfig {
             scrub_every: SimDuration::from_millis(200),
             scrub_batch: 8,
             verify_responses: false,
+            telemetry: TelemetryConfig::default(),
             seed: deepnote_sim::rng::DEFAULT_SEED,
         }
     }
@@ -142,6 +179,10 @@ enum EvKind {
     Sample,
     /// Client `i` issues its next operation.
     Client(usize),
+    /// Scrape the metrics registry (read-only; scheduled only when a
+    /// metrics interval is configured, and runs after client traffic at
+    /// equal times so the scrape sees the instant's final state).
+    Scrape,
 }
 
 impl EvKind {
@@ -153,6 +194,7 @@ impl EvKind {
             EvKind::Scrub => 3,
             EvKind::Sample => 4,
             EvKind::Client(_) => 5,
+            EvKind::Scrape => 6,
         }
     }
 }
@@ -205,6 +247,141 @@ impl EventQueue {
     }
 }
 
+/// Metric handles for one node, one per instrumented layer.
+struct NodeSeries {
+    spl_db: MetricId,
+    offtrack_nm: MetricId,
+    seek_retries: MetricId,
+    io_errors: MetricId,
+    injected_faults: MetricId,
+    wal_syncs: MetricId,
+    flushes: MetricId,
+    compactions: MetricId,
+    journal_commits: MetricId,
+    up: MetricId,
+}
+
+/// The unified registry plus every handle a campaign scrapes into it.
+/// Scraping is strictly read-only: it probes node state and records
+/// values, so enabling it cannot perturb the campaign.
+struct Scraper {
+    registry: MetricsRegistry,
+    nodes: Vec<NodeSeries>,
+    pending_repairs: MetricId,
+    unavailable_shards: MetricId,
+    failovers: MetricId,
+    nodes_down: MetricId,
+}
+
+impl Scraper {
+    fn new(num_nodes: usize) -> Self {
+        let mut registry = MetricsRegistry::new();
+        let nodes = (0..num_nodes)
+            .map(|n| NodeSeries {
+                spl_db: registry.register(
+                    Layer::Acoustics,
+                    format!("node{n}.spl_db"),
+                    MetricKind::Gauge,
+                ),
+                offtrack_nm: registry.register(
+                    Layer::Hdd,
+                    format!("node{n}.offtrack_nm"),
+                    MetricKind::Gauge,
+                ),
+                seek_retries: registry.register(
+                    Layer::Hdd,
+                    format!("node{n}.seek_retries"),
+                    MetricKind::Counter,
+                ),
+                io_errors: registry.register(
+                    Layer::Blockdev,
+                    format!("node{n}.io_errors"),
+                    MetricKind::Counter,
+                ),
+                injected_faults: registry.register(
+                    Layer::Blockdev,
+                    format!("node{n}.injected_faults"),
+                    MetricKind::Counter,
+                ),
+                wal_syncs: registry.register(
+                    Layer::Kv,
+                    format!("node{n}.wal_syncs"),
+                    MetricKind::Counter,
+                ),
+                flushes: registry.register(
+                    Layer::Kv,
+                    format!("node{n}.flushes"),
+                    MetricKind::Counter,
+                ),
+                compactions: registry.register(
+                    Layer::Kv,
+                    format!("node{n}.compactions"),
+                    MetricKind::Counter,
+                ),
+                journal_commits: registry.register(
+                    Layer::Fs,
+                    format!("node{n}.journal_commits"),
+                    MetricKind::Counter,
+                ),
+                up: registry.register(Layer::Cluster, format!("node{n}.up"), MetricKind::Gauge),
+            })
+            .collect();
+        let pending_repairs =
+            registry.register(Layer::Cluster, "pending_repairs", MetricKind::Gauge);
+        let unavailable_shards =
+            registry.register(Layer::Cluster, "unavailable_shards", MetricKind::Gauge);
+        let failovers = registry.register(Layer::Cluster, "failovers", MetricKind::Counter);
+        let nodes_down = registry.register(Layer::Cluster, "nodes_down", MetricKind::Gauge);
+        Scraper {
+            registry,
+            nodes,
+            pending_repairs,
+            unavailable_shards,
+            failovers,
+            nodes_down,
+        }
+    }
+
+    /// One read-only pass over the whole cluster at `now`. Engine
+    /// counters restart from zero after a reboot — visible as cliffs in
+    /// the series, which is the point.
+    fn scrape(&mut self, cluster: &Cluster, now: SimTime) {
+        for (n, ids) in self.nodes.iter().enumerate() {
+            let Some(node) = cluster.nodes().get(n) else {
+                continue;
+            };
+            let p = node.probe();
+            self.registry
+                .record(ids.spl_db, now, cluster.received_spl_db(n));
+            self.registry.record(ids.offtrack_nm, now, p.offtrack_nm);
+            self.registry
+                .record(ids.seek_retries, now, p.seek_retries as f64);
+            self.registry.record(ids.io_errors, now, p.io_errors as f64);
+            self.registry
+                .record(ids.injected_faults, now, p.injected_faults as f64);
+            self.registry.record(ids.wal_syncs, now, p.wal_syncs as f64);
+            self.registry.record(ids.flushes, now, p.flushes as f64);
+            self.registry
+                .record(ids.compactions, now, p.compactions as f64);
+            self.registry
+                .record(ids.journal_commits, now, p.journal_commits as f64);
+            self.registry
+                .record(ids.up, now, if p.running { 1.0 } else { 0.0 });
+        }
+        let down = cluster.monitor().up_mask().iter().filter(|u| !**u).count();
+        self.registry
+            .record(self.pending_repairs, now, cluster.pending_repairs() as f64);
+        self.registry.record(
+            self.unavailable_shards,
+            now,
+            cluster.unavailable_shards(now) as f64,
+        );
+        self.registry
+            .record(self.failovers, now, cluster.failovers() as f64);
+        self.registry.record(self.nodes_down, now, down as f64);
+    }
+}
+
 /// Runs one campaign to completion and reports.
 ///
 /// # Errors
@@ -217,6 +394,20 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
     let mut chaos_rng = SimRng::seeded(config.seed ^ CHAOS_SALT);
     let mut cluster = Cluster::with_chaos(config.cluster.clone(), &config.chaos, &mut chaos_rng)?;
     cluster.provision(&spec)?;
+    // Telemetry attaches after provisioning so preload traffic (off the
+    // cluster timeline) never lands in the trace.
+    let tracer = if config.telemetry.trace {
+        Tracer::ring(config.telemetry.trace_cap)
+    } else {
+        Tracer::disabled()
+    };
+    cluster.set_tracer(tracer.clone());
+    let mut burn = BurnRateMonitor::new(config.telemetry.slo);
+    let mut scraper = config.telemetry.metrics_interval.map(|_| {
+        let n = cluster.nodes().len();
+        Scraper::new(n)
+    });
+    let mut first_quorum_loss: Option<SimTime> = None;
     let mut rng = SimRng::seeded(config.seed);
     let mut pool = ClientPool::new(&spec, &mut rng);
     let num_nodes = cluster.nodes().len();
@@ -251,6 +442,9 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
         q.push(SimTime::ZERO + config.scrub_every, EvKind::Scrub);
     }
     q.push(SimTime::ZERO + config.sample_every, EvKind::Sample);
+    if config.telemetry.metrics_interval.is_some() {
+        q.push(SimTime::ZERO, EvKind::Scrape);
+    }
     for i in 0..pool.len() {
         q.push(pool.first_issue(i, &spec), EvKind::Client(i));
     }
@@ -262,11 +456,23 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
         match ev.kind {
             EvKind::PhaseChange(i) => {
                 metrics.enter_phase(i);
-                cluster.set_attack(config.timeline.frequency_at(ev.at));
+                if let Some(p) = config.timeline.phases().get(i) {
+                    if tracer.enabled(Layer::Cluster) {
+                        tracer.span(
+                            Layer::Cluster,
+                            CONTROL_TRACK,
+                            "phase",
+                            ev.at,
+                            p.duration,
+                            vec![("label", Value::Text(p.label.clone()))],
+                        );
+                    }
+                }
+                cluster.set_attack(config.timeline.frequency_at(ev.at), ev.at);
             }
             EvKind::Heartbeat => {
                 // Retune mid-sweep; a steady tone is a no-op here.
-                cluster.set_attack(config.timeline.frequency_at(ev.at));
+                cluster.set_attack(config.timeline.frequency_at(ev.at), ev.at);
                 cluster.heartbeat(ev.at);
                 q.push(ev.at + heartbeat_every, EvKind::Heartbeat);
             }
@@ -283,6 +489,10 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
                 let phase = config.timeline.phase_at(ev.at);
                 let unavailable = cluster.unavailable_shards(ev.at);
                 max_unavailable_by_phase[phase] = max_unavailable_by_phase[phase].max(unavailable);
+                if unavailable > 0 && first_quorum_loss.is_none() {
+                    first_quorum_loss = Some(ev.at);
+                }
+                burn.tick(ev.at);
                 q.push(ev.at + config.sample_every, EvKind::Sample);
             }
             EvKind::Client(i) => {
@@ -308,16 +518,43 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
                     }
                 }
                 metrics.record_op(op.is_read, ok, latency);
+                burn.record_op(ev.at + latency, ok);
                 q.push(ev.at + latency + spec.think_time, EvKind::Client(i));
+            }
+            EvKind::Scrape => {
+                if let Some(s) = scraper.as_mut() {
+                    s.scrape(&cluster, ev.at);
+                }
+                if let Some(interval) = config.telemetry.metrics_interval {
+                    q.push(ev.at + interval, EvKind::Scrape);
+                }
             }
         }
     }
     metrics.sample_availability(end);
     let last_phase = config.timeline.phases().len() - 1;
+    let final_unavailable = cluster.unavailable_shards(end);
     max_unavailable_by_phase[last_phase] =
-        max_unavailable_by_phase[last_phase].max(cluster.unavailable_shards(end));
+        max_unavailable_by_phase[last_phase].max(final_unavailable);
+    if final_unavailable > 0 && first_quorum_loss.is_none() {
+        first_quorum_loss = Some(end);
+    }
+    burn.tick(end);
+    if let Some(s) = scraper.as_mut() {
+        s.scrape(&cluster, end);
+    }
 
     cluster.record_oracle(oracle_checked, oracle_wrong);
+
+    let early_warning = EarlyWarning {
+        first_node_down: cluster.first_down().map(|(n, t)| (n, t.as_secs_f64())),
+        first_alert_s: burn
+            .alerts()
+            .iter()
+            .find(|a| a.raised)
+            .map(|a| a.at.as_secs_f64()),
+        quorum_loss_s: first_quorum_loss.map(|t| t.as_secs_f64()),
+    };
 
     Ok(CampaignReport {
         label: config.label.clone(),
@@ -336,6 +573,16 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
         chaos: cluster.chaos_stats(),
         fault_traces: cluster.fault_traces(),
         pending_repairs: cluster.pending_repairs(),
+        alerts: burn.into_alerts(),
+        series: scraper
+            .map(|s| s.registry.into_series())
+            .unwrap_or_default(),
+        early_warning,
+        trace: if tracer.is_enabled() {
+            Some(tracer.take())
+        } else {
+            None
+        },
     })
 }
 

@@ -25,6 +25,7 @@ use deepnote_core::threat::AttackParams;
 use deepnote_kv::DbConfig;
 use deepnote_sim::{SimDuration, SimRng, SimTime};
 use deepnote_structures::Scenario;
+use deepnote_telemetry::{Layer, Tracer, Value, CONTROL_TRACK};
 use serde::{Deserialize, Serialize};
 
 /// Everything needed to stand a cluster up.
@@ -105,6 +106,10 @@ pub struct Cluster {
     events: Vec<String>,
     integrity: IntegrityStats,
     scrubber: Scrubber,
+    tracer: Tracer,
+    /// The first node the monitor ever marked down, and when — the
+    /// incident report's "which replica degraded first".
+    first_down: Option<(NodeId, SimTime)>,
 }
 
 /// Health probes read this key; it never collides with workload keys.
@@ -167,8 +172,36 @@ impl Cluster {
             events: Vec::new(),
             integrity: IntegrityStats::default(),
             scrubber: Scrubber::default(),
+            tracer: Tracer::disabled(),
+            first_down: None,
             config,
         })
+    }
+
+    /// Attaches a tracer to the control plane and every node's stack.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for node in &mut self.nodes {
+            node.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// A control-plane instant (cluster-timeline timestamps, never
+    /// offset-shifted).
+    fn trace_event(&self, name: &'static str, now: SimTime, args: Vec<(&'static str, Value)>) {
+        self.tracer
+            .instant(Layer::Cluster, CONTROL_TRACK, name, now, args);
+    }
+
+    /// The first node ever marked down and when, if any node was.
+    pub fn first_down(&self) -> Option<(NodeId, SimTime)> {
+        self.first_down
+    }
+
+    fn mark_first_down(&mut self, n: NodeId, now: SimTime) {
+        if self.first_down.is_none() {
+            self.first_down = Some((n, now));
+        }
     }
 
     /// The configuration in effect.
@@ -240,14 +273,17 @@ impl Cluster {
         Ok(())
     }
 
-    /// Retunes (or silences) the speaker: every node receives the
-    /// vibration for its own distance.
-    pub fn set_attack(&mut self, frequency: Option<Frequency>) {
+    /// Retunes (or silences) the speaker at cluster time `now`: every
+    /// node receives the vibration for its own distance. With a tracer
+    /// attached, each node's received tone (SPL, residual off-track)
+    /// lands on the acoustics layer.
+    pub fn set_attack(&mut self, frequency: Option<Frequency>, now: SimTime) {
         if frequency.map(|f| f.hz()) == self.current_attack.map(|f| f.hz()) {
             return;
         }
         self.current_attack = frequency;
-        for node in &self.nodes {
+        for n in 0..self.nodes.len() {
+            let node = &self.nodes[n];
             match frequency {
                 Some(f) => self.testbed.mount_attack(
                     node.vibration(),
@@ -258,12 +294,61 @@ impl Cluster {
                 ),
                 None => self.testbed.stop_attack(node.vibration()),
             }
+            if !self.tracer.enabled(Layer::Acoustics) {
+                continue;
+            }
+            match frequency {
+                Some(f) => {
+                    let node = &self.nodes[n];
+                    let spl = self.testbed.received_spl(AttackParams {
+                        frequency: f,
+                        distance: node.position(),
+                    });
+                    // The vibration input is already mounted: the probe
+                    // reads the servo's response to this very tone.
+                    let offtrack_nm = node.probe().offtrack_nm;
+                    self.tracer.instant(
+                        Layer::Acoustics,
+                        CONTROL_TRACK,
+                        "tone",
+                        now,
+                        vec![
+                            ("node", Value::U64(n as u64)),
+                            ("freq_hz", Value::F64(f.hz())),
+                            ("spl_db", Value::F64(spl.db())),
+                            ("offtrack_nm", Value::F64(offtrack_nm)),
+                        ],
+                    );
+                }
+                None => self.tracer.instant(
+                    Layer::Acoustics,
+                    CONTROL_TRACK,
+                    "silence",
+                    now,
+                    vec![("node", Value::U64(n as u64))],
+                ),
+            }
         }
     }
 
     /// The frequency currently transmitted, if any.
     pub fn current_attack(&self) -> Option<Frequency> {
         self.current_attack
+    }
+
+    /// Received sound pressure level at node `n` under the current
+    /// tone, in dB (0 when the speaker is silent).
+    pub fn received_spl_db(&self, n: NodeId) -> f64 {
+        match self.current_attack {
+            Some(f) => self
+                .testbed
+                .received_spl(AttackParams {
+                    frequency: f,
+                    distance: self.nodes[n].position(),
+                })
+                .db(),
+            None => 0.0,
+        }
     }
 
     /// Executes one client operation through the quorum coordinator.
@@ -324,12 +409,32 @@ impl Cluster {
         if is_read && self.config.integrity.checksums {
             self.verify_read(key, now, &mut outcome);
         }
+        if !outcome.ok && self.tracer.enabled(Layer::Cluster) {
+            self.trace_event(
+                "quorum_fail",
+                now,
+                vec![
+                    ("shard", Value::U64(shard as u64)),
+                    ("op", Value::Str(if is_read { "read" } else { "write" })),
+                    ("acks", Value::U64(outcome.acks as u64)),
+                ],
+            );
+        }
         outcome
     }
 
     fn note_fatal(&mut self, n: NodeId, now: SimTime) {
         if self.monitor.mark_down(n, now) == Transition::WentDown {
             self.note(now, format!("node {n} crashed (fatal storage error)"));
+            self.mark_first_down(n, now);
+            self.trace_event(
+                "node_down",
+                now,
+                vec![
+                    ("node", Value::U64(n as u64)),
+                    ("reason", Value::Str("fatal_storage_error")),
+                ],
+            );
             self.repairs.cancel_target(n);
         }
     }
@@ -400,6 +505,15 @@ impl Cluster {
         let miss = self.monitor.config().probe_timeout + SimDuration::from_millis(1);
         if self.monitor.observe_probe(node, now, miss, false) == Transition::WentDown {
             self.note(now, format!("node {node} marked down (circuit breaker)"));
+            self.mark_first_down(node, now);
+            self.trace_event(
+                "node_down",
+                now,
+                vec![
+                    ("node", Value::U64(node as u64)),
+                    ("reason", Value::Str("circuit_breaker")),
+                ],
+            );
             self.repairs.cancel_target(node);
         }
     }
@@ -414,10 +528,20 @@ impl Cluster {
             match self.monitor.observe_probe(n, now, rtt, r.ok) {
                 Transition::WentDown => {
                     self.note(now, format!("node {n} marked down (probe timeout)"));
+                    self.mark_first_down(n, now);
+                    self.trace_event(
+                        "node_down",
+                        now,
+                        vec![
+                            ("node", Value::U64(n as u64)),
+                            ("reason", Value::Str("probe_timeout")),
+                        ],
+                    );
                     self.repairs.cancel_target(n);
                 }
                 Transition::CameUp => {
                     self.note(now, format!("node {n} back up"));
+                    self.trace_event("node_up", now, vec![("node", Value::U64(n as u64))]);
                     self.enqueue_catch_up(n);
                 }
                 Transition::None => {}
@@ -438,6 +562,14 @@ impl Cluster {
             match self.nodes[n].try_restart(now) {
                 RestartOutcome::StillDead => {
                     self.note(now, format!("node {n} reboot failed (medium unresponsive)"));
+                    self.trace_event(
+                        "reboot",
+                        now,
+                        vec![
+                            ("node", Value::U64(n as u64)),
+                            ("outcome", Value::Str("failed")),
+                        ],
+                    );
                 }
                 outcome => {
                     if outcome == RestartOutcome::RecoveredBlank {
@@ -445,6 +577,21 @@ impl Cluster {
                     } else {
                         self.note(now, format!("node {n} rebooted"));
                     }
+                    self.trace_event(
+                        "reboot",
+                        now,
+                        vec![
+                            ("node", Value::U64(n as u64)),
+                            (
+                                "outcome",
+                                Value::Str(if outcome == RestartOutcome::RecoveredBlank {
+                                    "blank_drive"
+                                } else {
+                                    "ok"
+                                }),
+                            ),
+                        ],
+                    );
                     // A swapped drive carries a fresh vibration input:
                     // re-mount the ongoing attack, if any.
                     if let Some(f) = self.current_attack {
@@ -493,6 +640,15 @@ impl Cluster {
                 self.note(
                     now,
                     format!("shard {shard} failed over from node {n} to node {target}"),
+                );
+                self.trace_event(
+                    "failover",
+                    now,
+                    vec![
+                        ("shard", Value::U64(shard as u64)),
+                        ("from", Value::U64(n as u64)),
+                        ("to", Value::U64(target as u64)),
+                    ],
                 );
             }
         }
@@ -577,6 +733,14 @@ impl Cluster {
                 for n in verdict.corrupt.iter().chain(verdict.missing.iter()) {
                     if self.repairs.enqueue(shard, *n, RepairReason::Scrub) {
                         self.scrubber.stats.repairs_enqueued += 1;
+                        self.trace_event(
+                            "scrub_repair",
+                            t,
+                            vec![
+                                ("shard", Value::U64(shard as u64)),
+                                ("node", Value::U64(*n as u64)),
+                            ],
+                        );
                     }
                 }
             }
@@ -684,7 +848,7 @@ mod tests {
             (PlacementPolicy::Separated, false),
         ] {
             let mut c = cluster(placement);
-            c.set_attack(Some(Frequency::from_hz(650.0)));
+            c.set_attack(Some(Frequency::from_hz(650.0)), SimTime::ZERO);
             // Drive writes until the near-rack engines die, with
             // heartbeats so the monitor notices.
             let mut t = SimTime::ZERO;
@@ -711,7 +875,7 @@ mod tests {
     #[test]
     fn events_are_recorded_with_timestamps() {
         let mut c = cluster(PlacementPolicy::CoLocated);
-        c.set_attack(Some(Frequency::from_hz(650.0)));
+        c.set_attack(Some(Frequency::from_hz(650.0)), SimTime::ZERO);
         let spec = small_spec();
         let mut t = SimTime::ZERO;
         for i in 0..400u64 {

@@ -64,7 +64,7 @@ pub mod workload;
 
 /// The common imports for driving cluster campaigns.
 pub mod prelude {
-    pub use crate::campaign::{run_campaign, run_matrix, CampaignConfig};
+    pub use crate::campaign::{run_campaign, run_matrix, CampaignConfig, TelemetryConfig};
     pub use crate::chaos::ChaosProfile;
     pub use crate::client::{ClientPolicy, ResilientClient};
     pub use crate::cluster::{Cluster, ClusterConfig};
@@ -74,7 +74,7 @@ pub mod prelude {
     pub use crate::metrics::{ClusterMetrics, ResilienceStats};
     pub use crate::placement::{PlacementPolicy, RackSpec};
     pub use crate::replication::ReplicationConfig;
-    pub use crate::report::{render_duel, CampaignReport};
+    pub use crate::report::{render_duel, CampaignReport, EarlyWarning};
     pub use crate::timeline::{AttackLoad, AttackTimeline, Phase};
     pub use crate::workload::{KeyDistribution, WorkloadSpec};
 }

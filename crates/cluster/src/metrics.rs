@@ -34,14 +34,15 @@ impl Default for OpClassMetrics {
 }
 
 impl OpClassMetrics {
-    /// Records one operation.
+    /// Records one operation. An SLO pass requires *both* success and
+    /// the latency bound, so `slo_ok <= ok <= attempted` always holds —
+    /// a failed operation can never count toward the SLO, no matter how
+    /// quickly it failed.
     pub fn record(&mut self, ok: bool, latency: SimDuration, slo: SimDuration) {
         self.attempted += 1;
         if ok {
             self.ok += 1;
-            if latency <= slo {
-                self.slo_ok += 1;
-            }
+            self.slo_ok += u64::from(latency <= slo);
         }
         self.latency_us.record(latency.as_nanos() as f64 / 1_000.0);
     }
@@ -275,6 +276,28 @@ mod tests {
         assert_eq!(c.slo_ok, 1);
         assert!((c.success_ratio() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.slo_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_ok_never_exceeds_ok() {
+        // Regression: a fast failure must not count toward the SLO, so
+        // `slo_ok <= ok <= attempted` holds after any op sequence.
+        let mut c = OpClassMetrics::default();
+        let slo = SimDuration::from_millis(50);
+        for i in 0..200u64 {
+            let ok = i % 3 != 0;
+            let latency = SimDuration::from_millis((i * 7) % 120);
+            c.record(ok, latency, slo);
+            assert!(
+                c.slo_ok <= c.ok && c.ok <= c.attempted,
+                "after op {i}: slo_ok={} ok={} attempted={}",
+                c.slo_ok,
+                c.ok,
+                c.attempted
+            );
+        }
+        assert!(c.slo_ok > 0, "sequence should contain SLO passes");
+        assert!(c.ok < c.attempted, "sequence should contain failures");
     }
 
     #[test]

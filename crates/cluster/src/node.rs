@@ -23,6 +23,7 @@ use deepnote_blockdev::{BlockDevice, ChaosEvent, ChaosInjector, ChaosPlan, Chaos
 use deepnote_hdd::VibrationInput;
 use deepnote_kv::{Db, DbConfig};
 use deepnote_sim::{Clock, SimDuration, SimRng, SimTime};
+use deepnote_telemetry::Tracer;
 
 /// A node's drive: the mechanical model behind a seeded fault injector.
 pub type ChaosDisk = ChaosInjector<HddDisk>;
@@ -76,6 +77,30 @@ pub struct NodeCounters {
     pub corrupted_reads: u64,
 }
 
+/// A read-only snapshot of one node's telemetry counters, taken at a
+/// metrics scrape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeProbe {
+    /// Whether the engine process is alive.
+    pub running: bool,
+    /// Residual off-track excursion under the current vibration (nm).
+    pub offtrack_nm: f64,
+    /// Drive retry attempts since the current drive was commissioned.
+    pub seek_retries: u64,
+    /// Failed block requests on the current drive.
+    pub io_errors: u64,
+    /// Injected chaos faults, drives since retired included.
+    pub injected_faults: u64,
+    /// WAL group syncs since the engine booted.
+    pub wal_syncs: u64,
+    /// Memtable flushes since the engine booted.
+    pub flushes: u64,
+    /// Compactions since the engine booted.
+    pub compactions: u64,
+    /// Filesystem journal commits since the engine booted.
+    pub journal_commits: u64,
+}
+
 /// The result of dispatching one operation to a node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceResult {
@@ -107,6 +132,8 @@ pub struct StorageNode {
     retired_chaos: ChaosStats,
     /// Distinct devices built, used to fork a fresh RNG stream per drive.
     devices_built: u64,
+    /// Shared trace sink; re-applied to the engine after every swap.
+    tracer: Tracer,
 }
 
 impl StorageNode {
@@ -178,6 +205,7 @@ impl StorageNode {
             rng,
             retired_chaos: ChaosStats::default(),
             devices_built,
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -238,6 +266,83 @@ impl StorageNode {
             Engine::Running(db) => Some(db.filesystem().device()),
             Engine::Stopped(dev) => Some(dev),
             Engine::Swapping => None,
+        }
+    }
+
+    /// Attaches a tracer to this node; every layer of the stack emits on
+    /// track `id`. Survives engine crashes and drive swaps (the node
+    /// re-applies the handle whenever the engine changes).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        self.apply_tracer();
+    }
+
+    /// Pushes the tracer down the current engine's stack.
+    fn apply_tracer(&mut self) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let track = self.id as u32;
+        match &mut self.engine {
+            Engine::Running(db) => {
+                db.set_tracer(self.tracer.clone(), track);
+                let dev = db.filesystem_mut().device_mut();
+                dev.set_tracer(self.tracer.clone(), track);
+                dev.inner_mut().set_tracer(self.tracer.clone(), track);
+            }
+            Engine::Stopped(dev) => {
+                dev.set_tracer(self.tracer.clone(), track);
+                dev.inner_mut().set_tracer(self.tracer.clone(), track);
+            }
+            Engine::Swapping => {}
+        }
+    }
+
+    /// Counters the campaign scrapes into metric series. Read-only: a
+    /// probe never advances clocks or consumes randomness, so scraping
+    /// cannot perturb the campaign. Engine counters read zero while the
+    /// node is down (the process holding them is gone), and KV/fs
+    /// counters restart from zero after a reboot — both visible as
+    /// cliffs in the series, which is the point.
+    pub fn probe(&self) -> NodeProbe {
+        let (offtrack_nm, seek_retries, io_errors) = match self.device() {
+            Some(dev) => {
+                let drive = dev.inner().drive();
+                let offtrack = drive
+                    .vibration()
+                    .current()
+                    .map(|v| drive.servo().residual_offtrack_nm(&v))
+                    .unwrap_or(0.0);
+                (
+                    offtrack,
+                    drive.retries_total(),
+                    dev.inner().read_errors() + dev.inner().write_errors(),
+                )
+            }
+            None => (0.0, 0, 0),
+        };
+        let (wal_syncs, flushes, compactions, journal_commits) = match &self.engine {
+            Engine::Running(db) => {
+                let s = db.stats();
+                (
+                    s.wal_syncs,
+                    s.flushes,
+                    s.compactions,
+                    db.filesystem().stats().journal_commits,
+                )
+            }
+            _ => (0, 0, 0, 0),
+        };
+        NodeProbe {
+            running: self.running(),
+            offtrack_nm,
+            seek_retries,
+            io_errors,
+            injected_faults: self.chaos_stats().total(),
+            wal_syncs,
+            flushes,
+            compactions,
+            journal_commits,
         }
     }
 
@@ -334,6 +439,15 @@ impl StorageNode {
             };
         };
         let t0 = self.clock.now();
+        if self.tracer.is_enabled() {
+            // Bridge this dispatch's private-clock window onto the
+            // cluster timeline: events the stack emits at private time
+            // `t` land at `start + (t - t0)`.
+            self.tracer.set_offset(
+                self.id as u32,
+                start.as_nanos() as i64 - t0.as_nanos() as i64,
+            );
+        }
         let outcome = f(db);
         let service = self.clock.now().saturating_duration_since(t0);
         self.busy_until = start + service + RTT;
@@ -407,6 +521,12 @@ impl StorageNode {
         };
         let start = self.busy_until.max(at);
         let t0 = self.clock.now();
+        if self.tracer.is_enabled() {
+            self.tracer.set_offset(
+                self.id as u32,
+                start.as_nanos() as i64 - t0.as_nanos() as i64,
+            );
+        }
         let mut probe = [0u8; 512];
         if disk.read_blocks(0, &mut probe).is_err() {
             let spent = self.clock.now().saturating_duration_since(t0);
@@ -460,6 +580,7 @@ impl StorageNode {
                         );
                         self.vibration = vibration;
                         self.engine = Engine::Stopped(blank);
+                        self.apply_tracer();
                         self.counters.failed_restarts += 1;
                         let spent = self.clock.now().saturating_duration_since(t0);
                         self.busy_until = start + spent;
@@ -469,6 +590,9 @@ impl StorageNode {
                 }
             }
         };
+        // A restart rebuilt the engine (and possibly the drive): the new
+        // stack needs the tracer re-attached.
+        self.apply_tracer();
         let spent = self.clock.now().saturating_duration_since(t0);
         self.busy_until = start + spent;
         self.counters.restarts += 1;

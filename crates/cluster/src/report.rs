@@ -7,8 +7,32 @@ use crate::node::NodeCounters;
 use crate::placement::PlacementPolicy;
 use crate::replication::RepairStats;
 use deepnote_blockdev::{ChaosEvent, ChaosStats};
+use deepnote_telemetry::{MetricSeries, SloAlert, TraceLog};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+
+/// The incident-detection headline: which replica degraded first and
+/// how much warning the burn-rate alerts gave before quorum loss.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EarlyWarning {
+    /// First node the health monitor marked down: `(node, seconds)`.
+    pub first_node_down: Option<(usize, f64)>,
+    /// When the first burn-rate alert raised, in campaign seconds.
+    pub first_alert_s: Option<f64>,
+    /// First availability sample that found shards below write quorum.
+    pub quorum_loss_s: Option<f64>,
+}
+
+impl EarlyWarning {
+    /// Seconds of warning the alerts gave before quorum loss; negative
+    /// when the alert only raised after shards were already lost.
+    pub fn lead_time_s(&self) -> Option<f64> {
+        match (self.first_alert_s, self.quorum_loss_s) {
+            (Some(alert), Some(loss)) => Some(loss - alert),
+            _ => None,
+        }
+    }
+}
 
 /// Everything a finished campaign produced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,6 +70,18 @@ pub struct CampaignReport {
     pub fault_traces: Vec<Vec<ChaosEvent>>,
     /// Repair jobs still queued when the campaign ended.
     pub pending_repairs: usize,
+    /// SLO burn-rate alert transitions, in time order.
+    pub alerts: Vec<SloAlert>,
+    /// Scraped metric series (empty unless the campaign configured a
+    /// metrics interval).
+    pub series: Vec<MetricSeries>,
+    /// Who degraded first, and the alert lead time before quorum loss.
+    pub early_warning: EarlyWarning,
+    /// Raw cross-layer trace when tracing was enabled. Exported
+    /// separately (Chrome trace-event JSON); deliberately excluded from
+    /// [`render`](Self::render) and [`to_json`](Self::to_json) so that
+    /// enabling tracing never changes either output.
+    pub trace: Option<TraceLog>,
 }
 
 impl CampaignReport {
@@ -206,6 +242,51 @@ impl CampaignReport {
             "shards below write quorum at campaign end: {}",
             self.final_unavailable_shards
         );
+        if !self.series.is_empty() {
+            let points: usize = self.series.iter().map(|s| s.points.len()).sum();
+            let _ = writeln!(
+                out,
+                "metrics: {} series scraped, {points} points",
+                self.series.len()
+            );
+        }
+        if !self.alerts.is_empty() {
+            let _ = writeln!(out, "--- slo burn-rate alerts ---");
+            for a in &self.alerts {
+                let _ = writeln!(
+                    out,
+                    "t={:7.1}s  {} {} (burn {:.1}x, errors {:.1}%, {} ops)",
+                    a.at.as_secs_f64(),
+                    a.window,
+                    if a.raised { "RAISED" } else { "cleared" },
+                    a.burn_rate,
+                    a.error_ratio * 100.0,
+                    a.ops
+                );
+            }
+        }
+        let ew = &self.early_warning;
+        if let Some((node, at_s)) = ew.first_node_down {
+            let _ = writeln!(
+                out,
+                "early warning: node {node} degraded first at t={at_s:.1}s"
+            );
+        }
+        if let (Some(alert), Some(loss)) = (ew.first_alert_s, ew.quorum_loss_s) {
+            let lead = loss - alert;
+            if lead >= 0.0 {
+                let _ = writeln!(
+                    out,
+                    "early warning: alert at t={alert:.1}s, quorum loss at t={loss:.1}s ({lead:.1}s of warning)"
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "early warning: quorum loss at t={loss:.1}s preceded the first alert at t={alert:.1}s ({:.1}s late)",
+                    -lead
+                );
+            }
+        }
         if !self.events.is_empty() {
             let _ = writeln!(out, "--- control-plane events ---");
             for e in &self.events {
@@ -350,6 +431,63 @@ impl CampaignReport {
             }
             None => j.push_str("\"resilience\":null,"),
         }
+        j.push_str("\"alerts\":[");
+        for (i, a) in self.alerts.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            let _ = write!(
+                j,
+                "{{\"at_s\":{},\"window\":\"{}\",\"raised\":{},\"burn_rate\":{},\"error_ratio\":{},\"ops\":{}}}",
+                json_f64(a.at.as_secs_f64()),
+                a.window,
+                a.raised,
+                json_f64(a.burn_rate),
+                json_f64(a.error_ratio),
+                a.ops
+            );
+        }
+        j.push_str("],\"series\":[");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            j.push('{');
+            json_str(&mut j, "layer", s.layer.name());
+            j.push(',');
+            json_str(&mut j, "name", &s.name);
+            j.push(',');
+            json_str(&mut j, "kind", s.kind.name());
+            j.push_str(",\"points\":[");
+            for (k, p) in s.points.iter().enumerate() {
+                if k > 0 {
+                    j.push(',');
+                }
+                let _ = write!(
+                    j,
+                    "{{\"at_s\":{},\"value\":{}}}",
+                    json_f64(p.at.as_secs_f64()),
+                    json_f64(p.value)
+                );
+            }
+            j.push_str("]}");
+        }
+        let ew = &self.early_warning;
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".to_string(), json_f64);
+        j.push_str("],\"early_warning\":{\"first_node_down\":");
+        match ew.first_node_down {
+            Some((node, at_s)) => {
+                let _ = write!(j, "{{\"node\":{node},\"at_s\":{}}}", json_f64(at_s));
+            }
+            None => j.push_str("null"),
+        }
+        let _ = write!(
+            j,
+            ",\"first_alert_s\":{},\"quorum_loss_s\":{},\"lead_time_s\":{}}},",
+            opt(ew.first_alert_s),
+            opt(ew.quorum_loss_s),
+            opt(ew.lead_time_s())
+        );
         j.push_str("\"events\":[");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
@@ -498,6 +636,21 @@ mod tests {
             chaos: vec![ChaosStats::default(), ChaosStats::default()],
             fault_traces: vec![Vec::new(), Vec::new()],
             pending_repairs: 0,
+            alerts: vec![SloAlert {
+                at: SimTime::from_secs(12),
+                window: "fast",
+                raised: true,
+                burn_rate: 25.0,
+                error_ratio: 0.25,
+                ops: 120,
+            }],
+            series: Vec::new(),
+            early_warning: EarlyWarning {
+                first_node_down: Some((0, 12.0)),
+                first_alert_s: Some(12.0),
+                quorum_loss_s: Some(15.0),
+            },
+            trace: None,
         }
     }
 

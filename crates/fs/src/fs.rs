@@ -15,6 +15,7 @@ use crate::layout::{
 };
 use deepnote_blockdev::BlockDevice;
 use deepnote_sim::{Clock, SimTime};
+use deepnote_telemetry::{Layer, Tracer, Value};
 use serde::{Deserialize, Serialize};
 
 /// Whether the filesystem is serving writes.
@@ -73,6 +74,8 @@ pub struct Filesystem<D: BlockDevice> {
     pending_data: Vec<(u64, Vec<u8>)>,
     journal: Journal,
     state: FsState,
+    tracer: Tracer,
+    track: u32,
 }
 
 impl<D: BlockDevice> Filesystem<D> {
@@ -213,6 +216,8 @@ impl<D: BlockDevice> Filesystem<D> {
                 pending_data: Vec::new(),
                 journal,
                 state,
+                tracer: Tracer::disabled(),
+                track: 0,
             },
             replayed,
         ))
@@ -252,6 +257,13 @@ impl<D: BlockDevice> Filesystem<D> {
     /// The clock this filesystem runs on.
     pub fn clock(&self) -> &Clock {
         &self.clock
+    }
+
+    /// Attaches a tracer; journal commits become fs-layer spans on
+    /// `track`, timestamped by this filesystem's clock.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: u32) {
+        self.tracer = tracer;
+        self.track = track;
     }
 
     /// Device-write failures absorbed by the journal's retry loop so far —
@@ -925,7 +937,28 @@ impl<D: BlockDevice> Filesystem<D> {
     pub fn commit(&mut self) -> Result<(), FsError> {
         self.check_writable()?;
         let data_runs = std::mem::take(&mut self.pending_data);
-        match self.journal.commit(&mut self.dev, &self.clock, &data_runs) {
+        let t0 = self.clock.now();
+        let commits_before = self.journal.commits();
+        let result = self.journal.commit(&mut self.dev, &self.clock, &data_runs);
+        if self.tracer.enabled(Layer::Fs)
+            && (self.journal.commits() > commits_before || result.is_err())
+        {
+            self.tracer.span(
+                Layer::Fs,
+                self.track,
+                "journal_commit",
+                t0,
+                self.clock.now().saturating_duration_since(t0),
+                vec![
+                    (
+                        "outcome",
+                        Value::Str(if result.is_ok() { "ok" } else { "aborted" }),
+                    ),
+                    ("data_runs", Value::U64(data_runs.len() as u64)),
+                ],
+            );
+        }
+        match result {
             Ok(()) => Ok(()),
             Err(FsError::JournalAborted { errno }) => {
                 self.state = FsState::Aborted { errno };

@@ -168,6 +168,7 @@ pub struct HardDiskDrive {
     parked_until: Option<SimTime>,
     ops_completed: u64,
     ops_failed: u64,
+    retries_total: u64,
 }
 
 impl HardDiskDrive {
@@ -193,6 +194,7 @@ impl HardDiskDrive {
             parked_until: None,
             ops_completed: 0,
             ops_failed: 0,
+            retries_total: 0,
         }
     }
 
@@ -266,6 +268,13 @@ impl HardDiskDrive {
     /// Operations that failed since construction.
     pub fn ops_failed(&self) -> u64 {
         self.ops_failed
+    }
+
+    /// Retry attempts burned across all operations since construction —
+    /// the leading indicator of acoustic degradation (retries climb well
+    /// before ops start failing outright).
+    pub fn retries_total(&self) -> u64 {
+        self.retries_total
     }
 
     /// Per-attempt success probability for the current vibration, or
@@ -373,6 +382,7 @@ impl HardDiskDrive {
                 });
             }
             retries += 1;
+            self.retries_total += 1;
             self.clock.advance(retry_delay);
             if retries >= self.timing.max_retries() {
                 self.ops_failed += 1;

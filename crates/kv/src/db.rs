@@ -8,6 +8,7 @@ use crate::wal::Wal;
 use deepnote_blockdev::BlockDevice;
 use deepnote_fs::{Filesystem, FsError, JournalConfig};
 use deepnote_sim::{Clock, SimDuration};
+use deepnote_telemetry::{Layer, Tracer, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -103,6 +104,8 @@ pub struct Db<D: BlockDevice> {
     ops_since_sync: u64,
     crashed: bool,
     stats: DbStats,
+    tracer: Tracer,
+    track: u32,
 }
 
 impl<D: BlockDevice> Db<D> {
@@ -146,6 +149,8 @@ impl<D: BlockDevice> Db<D> {
             ops_since_sync: 0,
             crashed: false,
             stats: DbStats::default(),
+            tracer: Tracer::disabled(),
+            track: 0,
         };
         db.write_manifest()?;
         Ok(db)
@@ -191,6 +196,8 @@ impl<D: BlockDevice> Db<D> {
             ops_since_sync: 0,
             crashed: false,
             stats: DbStats::default(),
+            tracer: Tracer::disabled(),
+            track: 0,
         })
     }
 
@@ -212,6 +219,33 @@ impl<D: BlockDevice> Db<D> {
     /// The clock the store runs on.
     pub fn clock(&self) -> &Clock {
         &self.clock
+    }
+
+    /// Attaches a tracer to the store and its filesystem; WAL syncs,
+    /// memtable flushes, and compactions become kv-layer spans on
+    /// `track`, journal commits fs-layer spans.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: u32) {
+        self.fs.set_tracer(tracer.clone(), track);
+        self.tracer = tracer;
+        self.track = track;
+    }
+
+    /// One background-work span on this store's clock.
+    fn trace_span(&self, name: &'static str, t0: deepnote_sim::SimTime, ok: bool, bytes: u64) {
+        if !self.tracer.enabled(Layer::Kv) {
+            return;
+        }
+        self.tracer.span(
+            Layer::Kv,
+            self.track,
+            name,
+            t0,
+            self.clock.now().saturating_duration_since(t0),
+            vec![
+                ("outcome", Value::Str(if ok { "ok" } else { "error" })),
+                ("bytes", Value::U64(bytes)),
+            ],
+        );
     }
 
     /// The underlying filesystem (diagnostics, device counters).
@@ -425,13 +459,18 @@ impl<D: BlockDevice> Db<D> {
     /// [`DbError::WalSyncFailed`] (fatal) past the patience budget.
     pub fn sync_wal(&mut self) -> Result<(), DbError> {
         self.check_alive()?;
+        let t0 = self.clock.now();
         match self.wal.sync(&mut self.fs, &self.clock) {
             Ok(()) => {
                 self.ops_since_sync = 0;
                 self.stats.wal_syncs += 1;
+                self.trace_span("wal_sync", t0, true, 0);
                 Ok(())
             }
-            Err(e) => self.fatal(e),
+            Err(e) => {
+                self.trace_span("wal_sync", t0, false, 0);
+                self.fatal(e)
+            }
         }
     }
 
@@ -476,8 +515,10 @@ impl<D: BlockDevice> Db<D> {
             return Ok(());
         }
         self.sync_wal()?;
+        let t0 = self.clock.now();
         let records = self.memtable.drain_sorted();
-        self.stats.flush_bytes += records.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
+        let flush_bytes = records.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
+        self.stats.flush_bytes += flush_bytes;
         let path = format!("{DB_DIR}/sst_0_{}", self.next_file_no);
         self.next_file_no += 1;
         let result: Result<(), DbError> = (|| {
@@ -489,6 +530,7 @@ impl<D: BlockDevice> Db<D> {
             self.wal.reset(&mut self.fs)?;
             Ok(())
         })();
+        self.trace_span("memtable_flush", t0, result.is_ok(), flush_bytes);
         match result {
             Ok(()) => {
                 self.stats.flushes += 1;
@@ -521,6 +563,7 @@ impl<D: BlockDevice> Db<D> {
     /// As for [`Db::flush`].
     pub fn compact(&mut self) -> Result<(), DbError> {
         self.check_alive()?;
+        let t0 = self.clock.now();
         // Gather runs newest-first: L0 newest→oldest, then L1.
         let mut runs: Vec<Vec<Record>> = Vec::new();
         for path in self.level0.clone().iter().rev() {
@@ -532,7 +575,8 @@ impl<D: BlockDevice> Db<D> {
         let run_refs: Vec<&[Record]> = runs.iter().map(|r| r.as_slice()).collect();
         // L1 is the bottom level: tombstones can be dropped.
         let merged = merge_runs(&run_refs, false);
-        self.stats.compaction_bytes += merged.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
+        let compaction_bytes = merged.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
+        self.stats.compaction_bytes += compaction_bytes;
 
         let old_files: Vec<String> = self.level0.drain(..).chain(self.level1.drain(..)).collect();
         let result: Result<(), DbError> = (|| {
@@ -551,6 +595,7 @@ impl<D: BlockDevice> Db<D> {
             }
             Ok(())
         })();
+        self.trace_span("compaction", t0, result.is_ok(), compaction_bytes);
         match result {
             Ok(()) => {
                 self.stats.compactions += 1;

@@ -263,6 +263,29 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_crate_is_policed() {
+        // The tracing/metrics layer observes the deterministic
+        // simulation from inside it, so it lives under both the
+        // determinism and panic-free regimes; prove the scoping reaches
+        // every module so a trace can never inject wall-clock time or
+        // crash a serving node.
+        let nondet = "use std::collections::HashMap;";
+        let clocky = "pub fn f() -> std::time::Instant { std::time::Instant::now() }";
+        let panicky = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        for path in [
+            "crates/telemetry/src/tracer.rs",
+            "crates/telemetry/src/metrics.rs",
+            "crates/telemetry/src/slo.rs",
+            "crates/telemetry/src/chrome.rs",
+            "crates/telemetry/src/schema.rs",
+        ] {
+            assert_eq!(run_on(path, nondet).len(), 1, "{path} nondet uncovered");
+            assert_eq!(run_on(path, clocky).len(), 1, "{path} clock uncovered");
+            assert_eq!(run_on(path, panicky).len(), 1, "{path} panic uncovered");
+        }
+    }
+
+    #[test]
     fn panic_rule_exempts_tests_and_bins() {
         let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
         assert_eq!(run_on("crates/kv/src/db.rs", src).len(), 1);

@@ -35,12 +35,21 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "iobench",
     "core",
     "cluster",
+    "telemetry",
 ];
 
 /// Crates whose library code must not panic: everything on the serving
 /// path of the cluster (a panicking storage node is an availability
 /// bug indistinguishable from the acoustic attack it simulates).
-pub const PANIC_FREE_CRATES: &[&str] = &["acoustics", "hdd", "blockdev", "fs", "kv", "cluster"];
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "acoustics",
+    "hdd",
+    "blockdev",
+    "fs",
+    "kv",
+    "cluster",
+    "telemetry",
+];
 
 /// Crates whose public APIs carry physical quantities and must use the
 /// `units.rs` newtypes instead of adjacent raw `f64`s.

@@ -212,16 +212,21 @@ impl Histogram {
         Some((self.stats.min()?, self.stats.max()?))
     }
 
-    /// The `p`-th percentile (`0 < p <= 100`) from bucket boundaries, or
-    /// `None` if the histogram is empty.
+    /// The `p`-th percentile (`0 <= p <= 100`) from bucket boundaries.
     ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `(0, 100]`.
+    /// Returns `None` if the histogram is empty or `p` is NaN or
+    /// outside `[0, 100]`. `p = 0` returns the exact minimum sample;
+    /// higher ranks return the upper edge of the bucket holding the
+    /// rank (so `p = 100` brackets the exact maximum from above).
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if !(0.0..=100.0).contains(&p) {
+            return None;
+        }
         if self.total == 0 {
             return None;
+        }
+        if p <= 0.0 {
+            return self.min_max().map(|(min, _)| min);
         }
         let rank = ((p / 100.0) * self.total as f64).ceil() as u64;
         let mut seen = self.underflow;
@@ -428,6 +433,39 @@ mod tests {
     fn histogram_empty_has_no_percentile() {
         let h = Histogram::new_latency();
         assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(100.0), None);
+    }
+
+    #[test]
+    fn histogram_percentile_rejects_out_of_range_gracefully() {
+        let mut h = Histogram::new_latency();
+        h.record(42.0);
+        assert_eq!(h.percentile(-1.0), None);
+        assert_eq!(h.percentile(100.1), None);
+        assert_eq!(h.percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn histogram_percentile_zero_is_the_exact_minimum() {
+        let mut h = Histogram::new_latency();
+        h.record(17.0);
+        h.record(400.0);
+        h.record(9000.0);
+        assert_eq!(h.percentile(0.0), Some(17.0));
+    }
+
+    #[test]
+    fn histogram_single_sample_percentiles_bracket_it() {
+        let mut h = Histogram::new_latency();
+        h.record(250.0);
+        assert_eq!(h.percentile(0.0), Some(250.0));
+        // Every positive rank lands in the one occupied bucket; its
+        // upper edge brackets the sample within one bucket's error.
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            assert!((250.0..300.0).contains(&v), "p{p}={v}");
+        }
     }
 
     #[test]

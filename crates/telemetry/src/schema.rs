@@ -1,0 +1,511 @@
+//! A hand-rolled JSON reader and the trace/report schema checks.
+//!
+//! CI validates every artifact the telemetry layer emits; pulling in a
+//! JSON crate for that would break the workspace's no-new-dependencies
+//! rule, so this module carries a small recursive-descent parser (object
+//! keys keep their order in a `Vec` — no hash maps in determinism-policed
+//! crates) and two validators: one for Chrome trace files, one for the
+//! campaign report array `deepnote cluster --json` writes.
+
+/// A parsed JSON value. Object members keep document order.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The bool payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("json error at byte {}: {what}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.consume(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.consume(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is valid UTF-8:
+                    // it came in as &str).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    if let Ok(s) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        out.push_str(s);
+                    }
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed).
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// What a valid trace file contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Span + instant events (metadata excluded).
+    pub events: usize,
+    /// Complete spans.
+    pub spans: usize,
+    /// Instants.
+    pub instants: usize,
+    /// Distinct layer categories seen, sorted.
+    pub layers: Vec<String>,
+}
+
+/// Validates a Chrome trace-event file as exported by [`crate::chrome`].
+///
+/// # Errors
+///
+/// A description of the first violation: unparsable JSON, a missing
+/// `traceEvents` array, or an event without the fields Perfetto needs.
+pub fn validate_trace(input: &str) -> Result<TraceSummary, String> {
+    let doc = parse(input)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("top-level object must carry a traceEvents array")?;
+    let mut summary = TraceSummary {
+        events: 0,
+        spans: 0,
+        instants: 0,
+        layers: Vec::new(),
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        for field in ["pid", "tid"] {
+            ev.get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("event {i}: missing numeric {field}"))?;
+        }
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        match ph {
+            "M" => continue,
+            "X" | "i" => {}
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing numeric ts"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {i}: ts must be finite and non-negative"));
+        }
+        if ph == "X" {
+            let dur = ev
+                .get("dur")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("event {i}: span missing dur"))?;
+            if !dur.is_finite() || dur < 0.0 {
+                return Err(format!("event {i}: dur must be finite and non-negative"));
+            }
+            summary.spans += 1;
+        } else {
+            summary.instants += 1;
+        }
+        summary.events += 1;
+        let cat = ev
+            .get("cat")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing cat"))?;
+        if !summary.layers.iter().any(|l| l == cat) {
+            summary.layers.push(cat.to_string());
+        }
+    }
+    summary.layers.sort();
+    Ok(summary)
+}
+
+/// What a valid report array contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportSummary {
+    /// Campaign runs in the array.
+    pub runs: usize,
+    /// Alert transitions across all runs.
+    pub alerts: usize,
+    /// Alert transitions that were raises.
+    pub raised: usize,
+    /// Metric series across all runs.
+    pub series: usize,
+}
+
+/// Validates the report array written by `deepnote cluster --json`:
+/// every run must carry its label, phases, alert timeline, and metric
+/// series in the expected shapes.
+///
+/// # Errors
+///
+/// A description of the first violation.
+pub fn validate_report(input: &str) -> Result<ReportSummary, String> {
+    let doc = parse(input)?;
+    let runs = doc.as_arr().ok_or("report file must be a JSON array")?;
+    if runs.is_empty() {
+        return Err("report array is empty".to_string());
+    }
+    let mut summary = ReportSummary {
+        runs: runs.len(),
+        alerts: 0,
+        raised: 0,
+        series: 0,
+    };
+    for (i, run) in runs.iter().enumerate() {
+        run.get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("run {i}: missing label"))?;
+        let phases = run
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("run {i}: missing phases array"))?;
+        if phases.is_empty() {
+            return Err(format!("run {i}: phases array is empty"));
+        }
+        let alerts = run
+            .get("alerts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("run {i}: missing alerts array"))?;
+        for (k, a) in alerts.iter().enumerate() {
+            a.get("at_s")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("run {i} alert {k}: missing at_s"))?;
+            let window = a
+                .get("window")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("run {i} alert {k}: missing window"))?;
+            if window != "fast" && window != "slow" {
+                return Err(format!("run {i} alert {k}: bad window {window:?}"));
+            }
+            a.get("burn_rate")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("run {i} alert {k}: missing burn_rate"))?;
+            if a.get("raised")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("run {i} alert {k}: missing raised"))?
+            {
+                summary.raised += 1;
+            }
+            summary.alerts += 1;
+        }
+        let series = run
+            .get("series")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("run {i}: missing series array"))?;
+        for (k, s) in series.iter().enumerate() {
+            for field in ["layer", "name", "kind"] {
+                s.get(field)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("run {i} series {k}: missing {field}"))?;
+            }
+            let points = s
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("run {i} series {k}: missing points"))?;
+            for (p, pt) in points.iter().enumerate() {
+                pt.get("at_s")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("run {i} series {k} point {p}: missing at_s"))?;
+                pt.get("value")
+                    .ok_or_else(|| format!("run {i} series {k} point {p}: missing value"))?;
+            }
+            summary.series += 1;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_roundtrips_the_basics() {
+        let doc = parse(r#"{"a":[1,2.5,-3e2],"b":"x\"\n","c":null,"d":true}"#).unwrap();
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("x\"\n"));
+        let arr = doc.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert!((arr[2].as_num().unwrap() + 300.0).abs() < 1e-9);
+        assert!(matches!(doc.get("c"), Some(Json::Null)));
+        assert_eq!(doc.get("d").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} tail").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn trace_validator_accepts_the_exporter_output() {
+        use crate::tracer::{Layer, Tracer, Value};
+        use deepnote_sim::{SimDuration, SimTime};
+        let t = Tracer::ring(8);
+        t.instant(
+            Layer::Acoustics,
+            0,
+            "tone",
+            SimTime::ZERO,
+            vec![("hz", Value::F64(650.0))],
+        );
+        t.span(
+            Layer::Hdd,
+            0,
+            "degraded_io",
+            SimTime::from_secs(1),
+            SimDuration::from_millis(45),
+            Vec::new(),
+        );
+        let json = crate::chrome::export(&[("run", &t.take())]);
+        let summary = validate_trace(&json).unwrap();
+        assert_eq!(summary.events, 2);
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.layers, vec!["acoustics", "hdd"]);
+    }
+
+    #[test]
+    fn trace_validator_rejects_malformed_events() {
+        assert!(validate_trace("[]").is_err());
+        assert!(validate_trace(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
+        let negative =
+            r#"{"traceEvents":[{"ph":"i","pid":1,"tid":0,"ts":-1,"s":"t","cat":"c","name":"n"}]}"#;
+        assert!(validate_trace(negative).is_err());
+    }
+
+    #[test]
+    fn report_validator_counts_alerts_and_series() {
+        let body = r#"[{"label":"x","phases":[{"label":"baseline"}],
+            "alerts":[{"at_s":12.0,"window":"fast","raised":true,"burn_rate":25.0},
+                      {"at_s":40.0,"window":"fast","raised":false,"burn_rate":0.5}],
+            "series":[{"layer":"hdd","name":"node0/seek_retries","kind":"counter",
+                       "points":[{"at_s":1.0,"value":3}]}]}]"#;
+        let summary = validate_report(body).unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.alerts, 2);
+        assert_eq!(summary.raised, 1);
+        assert_eq!(summary.series, 1);
+    }
+
+    #[test]
+    fn report_validator_rejects_missing_sections() {
+        assert!(validate_report("[]").is_err());
+        assert!(validate_report(r#"[{"label":"x","phases":[{}]}]"#).is_err());
+        let bad_window = r#"[{"label":"x","phases":[{}],"series":[],
+            "alerts":[{"at_s":1.0,"window":"medium","raised":true,"burn_rate":1.0}]}]"#;
+        assert!(validate_report(bad_window).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Telemetry, end to end: the cross-layer trace and the SLO burn-rate
+//! monitor against the full attack campaign.
+//!
+//! Three claims:
+//!
+//! 1. **Determinism** — a traced campaign is a pure function of its
+//!    seed: same config, byte-identical Chrome trace JSON.
+//! 2. **Zero perturbation** — enabling tracing changes nothing the
+//!    campaign reports; text and JSON outputs are byte-identical with
+//!    telemetry on and off.
+//! 3. **Coverage and timing** — one run's trace carries events from at
+//!    least four distinct layers, and burn-rate alerts fire during the
+//!    attack phase while staying silent through the baseline.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use deepnote_cluster::prelude::*;
+use deepnote_cluster::timeline::{AttackLoad, Phase};
+use deepnote_sim::{SimDuration, SimTime};
+use deepnote_telemetry::{export_chrome_trace, schema};
+
+/// A short co-located campaign: tiny keyspace, brisk phases, still long
+/// enough for the 650 Hz tone to kill the near rack and raise alerts.
+fn traced_config() -> CampaignConfig {
+    let mut c = CampaignConfig::paper_duel(PlacementPolicy::CoLocated, SimDuration::from_secs(30));
+    c.workload.num_keys = 240;
+    c.workload.clients = 4;
+    c.timeline = AttackTimeline::new(vec![
+        Phase {
+            label: "baseline".into(),
+            duration: SimDuration::from_secs(20),
+            load: AttackLoad::Off,
+        },
+        Phase {
+            label: "attack".into(),
+            duration: SimDuration::from_secs(30),
+            load: AttackLoad::Tone { hz: 650.0 },
+        },
+        Phase {
+            label: "recovery".into(),
+            duration: SimDuration::from_secs(30),
+            load: AttackLoad::Off,
+        },
+    ]);
+    c.telemetry.trace = true;
+    c.telemetry.metrics_interval = Some(SimDuration::from_millis(500));
+    c
+}
+
+#[test]
+fn traces_are_byte_identical_per_seed() {
+    let a = run_campaign(&traced_config()).expect("campaign");
+    let b = run_campaign(&traced_config()).expect("campaign");
+    let trace_a = export_chrome_trace(&[("run", a.trace.as_ref().unwrap())]);
+    let trace_b = export_chrome_trace(&[("run", b.trace.as_ref().unwrap())]);
+    assert_eq!(trace_a, trace_b, "same seed must produce identical traces");
+    assert_eq!(a.trace, b.trace);
+}
+
+#[test]
+fn one_trace_covers_at_least_four_layers() {
+    let report = run_campaign(&traced_config()).expect("campaign");
+    let json = export_chrome_trace(&[("colocated", report.trace.as_ref().unwrap())]);
+    let summary = schema::validate_trace(&json).expect("exporter output must validate");
+    assert!(summary.spans > 0, "no spans recorded");
+    assert!(summary.instants > 0, "no instants recorded");
+    for layer in ["acoustics", "hdd", "blockdev", "cluster"] {
+        assert!(
+            summary.layers.iter().any(|l| l == layer),
+            "layer {layer} missing from trace (got {:?})",
+            summary.layers
+        );
+    }
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_campaign() {
+    let mut trace_only = traced_config();
+    trace_only.telemetry.metrics_interval = None;
+    let mut quiet = traced_config();
+    quiet.telemetry = TelemetryConfig::default();
+    let traced = run_campaign(&trace_only).expect("campaign");
+    let bare = run_campaign(&quiet).expect("campaign");
+    assert!(traced.trace.is_some() && bare.trace.is_none());
+    // The trace is excluded from both outputs, so enabling it changes
+    // neither byte of them.
+    assert_eq!(traced.render(), bare.render());
+    assert_eq!(traced.to_json(), bare.to_json());
+    // Metrics scraping is read-only too: it adds series to the report
+    // but every campaign result matches the bare run exactly.
+    let scraped = run_campaign(&traced_config()).expect("campaign");
+    assert!(!scraped.series.is_empty() && bare.series.is_empty());
+    assert_eq!(scraped.events, bare.events);
+    assert_eq!(scraped.alerts, bare.alerts);
+    for (a, b) in scraped.metrics.phases.iter().zip(&bare.metrics.phases) {
+        assert_eq!(a.reads.attempted, b.reads.attempted, "{}", a.label);
+        assert_eq!(a.reads.ok, b.reads.ok, "{}", a.label);
+        assert_eq!(a.writes.attempted, b.writes.attempted, "{}", a.label);
+        assert_eq!(a.writes.ok, b.writes.ok, "{}", a.label);
+    }
+}
+
+#[test]
+fn alerts_fire_during_attack_and_stay_silent_before_it() {
+    let report = run_campaign(&traced_config()).expect("campaign");
+    let attack_start = SimTime::ZERO + SimDuration::from_secs(20);
+    let raised: Vec<_> = report.alerts.iter().filter(|a| a.raised).collect();
+    assert!(!raised.is_empty(), "attack must raise a burn-rate alert");
+    for a in &report.alerts {
+        assert!(
+            a.at >= attack_start,
+            "alert at {:?} during the quiet baseline",
+            a.at
+        );
+    }
+    let ew = &report.early_warning;
+    assert!(ew.first_node_down.is_some(), "no node marked down");
+    assert!(ew.first_alert_s.is_some(), "no alert timestamp");
+}
+
+#[test]
+fn report_json_passes_the_schema_validator() {
+    let report = run_campaign(&traced_config()).expect("campaign");
+    let body = format!("[{}]\n", report.to_json());
+    let summary = schema::validate_report(&body).expect("report JSON must validate");
+    assert_eq!(summary.runs, 1);
+    assert!(summary.raised > 0, "no raised alerts in the report");
+    assert!(summary.series > 0, "no metric series in the report");
+}
