@@ -1,0 +1,271 @@
+//! Exact-key memoization of the acoustic transfer path.
+//!
+//! The received SPL (and everything downstream of it: chassis
+//! displacement, servo off-track excursion) is a pure function of the
+//! steady-state operating point — attack frequency, receiver distance,
+//! water column, structural scenario. Campaign hot loops evaluate the
+//! same handful of operating points millions of times (every heartbeat
+//! retune, every metrics scrape, every traced degraded op re-walks the
+//! spreading-loss/absorption/servo chain), so a table precomputed at
+//! setup turns that recomputation into a lookup.
+//!
+//! # Determinism
+//!
+//! The table must stay inside the workspace's determinism lint regime
+//! (DESIGN.md §7): no `HashMap` (iteration order), no hashing of
+//! floats. Instead every [`OperatingPoint`] is reduced to a bit-exact
+//! integer key — the IEEE-754 bit patterns of its coordinates via
+//! [`f64::to_bits`] plus the caller's context discriminant — and the
+//! table is a `Vec` sorted by that key, probed with binary search.
+//! Lookups therefore hit only for *exactly* the operating point that
+//! was precomputed (no epsilon matching: `0.1 + 0.2` will not find
+//! `0.3`), which is precisely what memoizing a pure function needs:
+//! a hit returns the very value the miss path would recompute, so
+//! results are byte-identical with the cache on or off.
+//!
+//! The table is generic over the cached value so each layer stores
+//! what it needs: received SPL and chassis displacement at the
+//! testbed, residual off-track nanometers at the servo consumers.
+
+use crate::medium::WaterConditions;
+use crate::units::{Distance, Frequency};
+
+/// One steady-state tone: attack frequency, receiver distance, water
+/// column, plus a caller-supplied discriminant for everything the
+/// acoustics layer cannot name (this crate sits below the structural
+/// model, so e.g. the scenario enters as its numeric id).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    frequency: Frequency,
+    distance: Distance,
+    water: WaterConditions,
+    context: u64,
+}
+
+/// The bit-exact sort/search key for an operating point.
+type Key = [u64; 6];
+
+impl OperatingPoint {
+    /// Builds an operating point. `context` discriminates anything
+    /// beyond the acoustic coordinates (structural scenario, drive
+    /// model, …); use `0` when there is nothing to discriminate.
+    pub fn new(
+        frequency: Frequency,
+        distance: Distance,
+        water: &WaterConditions,
+        context: u64,
+    ) -> Self {
+        OperatingPoint {
+            frequency,
+            distance,
+            water: *water,
+            context,
+        }
+    }
+
+    /// Returns a copy keyed to a different frequency. Consumers that
+    /// sit at a fixed position (a drive at its rack slot) keep one
+    /// point as a template and mint per-tone keys with this.
+    pub fn with_frequency(mut self, frequency: Frequency) -> Self {
+        self.frequency = frequency;
+        self
+    }
+
+    /// The attack frequency.
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// The receiver distance.
+    pub fn distance(&self) -> Distance {
+        self.distance
+    }
+
+    /// The water column.
+    pub fn water(&self) -> &WaterConditions {
+        &self.water
+    }
+
+    /// The caller-supplied context discriminant.
+    pub fn context(&self) -> u64 {
+        self.context
+    }
+
+    /// The bit-exact key: IEEE-754 bit patterns, so two points compare
+    /// equal exactly when every coordinate is the same bits (`-0.0`
+    /// and `0.0` are distinct keys, which is fine — a miss only costs
+    /// the recomputation a hit would have saved).
+    fn key(&self) -> Key {
+        [
+            self.frequency.hz().to_bits(),
+            self.distance.m().to_bits(),
+            self.water.temperature().deg_c().to_bits(),
+            self.water.salinity().psu().to_bits(),
+            self.water.depth().m().to_bits(),
+            self.context,
+        ]
+    }
+}
+
+/// A precomputed transfer-path table: sorted `(key, value)` pairs
+/// probed with binary search. Build once at campaign setup, share
+/// read-only (wrap in `Arc`) across the hot loop.
+#[derive(Debug, Clone)]
+pub struct TransferPathTable<V> {
+    entries: Vec<(Key, V)>,
+}
+
+impl<V> Default for TransferPathTable<V> {
+    fn default() -> Self {
+        TransferPathTable::empty()
+    }
+}
+
+impl<V> TransferPathTable<V> {
+    /// A table with no entries; every lookup misses.
+    pub fn empty() -> Self {
+        TransferPathTable {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds a table from `(point, value)` pairs. Entries are sorted
+    /// by bit-exact key; on duplicate keys the first occurrence wins
+    /// (the sort is stable), so the result is a deterministic function
+    /// of the input sequence.
+    pub fn build(points: impl IntoIterator<Item = (OperatingPoint, V)>) -> Self {
+        let mut entries: Vec<(Key, V)> = points
+            .into_iter()
+            .map(|(point, value)| (point.key(), value))
+            .collect();
+        entries.sort_by_key(|e| e.0);
+        entries.dedup_by(|a, b| a.0 == b.0);
+        TransferPathTable { entries }
+    }
+
+    /// Builds a table by evaluating `compute` at every operating
+    /// point — the precompute pass. `compute` must be the exact
+    /// function the miss path calls, which is what guarantees cache-on
+    /// and cache-off runs produce byte-identical results.
+    pub fn precompute(
+        points: impl IntoIterator<Item = OperatingPoint>,
+        mut compute: impl FnMut(&OperatingPoint) -> V,
+    ) -> Self {
+        TransferPathTable::build(points.into_iter().map(|p| {
+            let v = compute(&p);
+            (p, v)
+        }))
+    }
+
+    /// Looks up the value for exactly this operating point (bit-exact
+    /// key match), or `None` — callers fall back to recomputing.
+    pub fn get(&self, point: &OperatingPoint) -> Option<&V> {
+        let key = point.key();
+        self.entries
+            .binary_search_by(|entry| entry.0.cmp(&key))
+            .ok()
+            .and_then(|i| self.entries.get(i))
+            .map(|entry| &entry.1)
+    }
+
+    /// Number of distinct operating points in the table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Celsius, Depth, Salinity};
+
+    fn water() -> WaterConditions {
+        WaterConditions::new(
+            Celsius::new(20.0),
+            Salinity::from_psu(0.5),
+            Depth::from_m(0.3),
+        )
+    }
+
+    fn point(hz: f64, cm: f64, context: u64) -> OperatingPoint {
+        OperatingPoint::new(
+            Frequency::from_hz(hz),
+            Distance::from_cm(cm),
+            &water(),
+            context,
+        )
+    }
+
+    #[test]
+    fn hits_exact_points_and_misses_everything_else() {
+        let table = TransferPathTable::precompute(
+            [
+                point(650.0, 5.0, 1),
+                point(650.0, 10.0, 1),
+                point(800.0, 5.0, 1),
+            ],
+            |p| p.frequency().hz() + p.distance().m(),
+        );
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.get(&point(650.0, 5.0, 1)), Some(&650.05));
+        assert_eq!(table.get(&point(650.0, 10.0, 1)), Some(&650.1));
+        // Different context, frequency, or water → miss.
+        assert_eq!(table.get(&point(650.0, 5.0, 2)), None);
+        assert_eq!(table.get(&point(651.0, 5.0, 1)), None);
+        let other_water = WaterConditions::new(
+            Celsius::new(21.0),
+            Salinity::from_psu(0.5),
+            Depth::from_m(0.3),
+        );
+        let warm = OperatingPoint::new(
+            Frequency::from_hz(650.0),
+            Distance::from_cm(5.0),
+            &other_water,
+            1,
+        );
+        assert_eq!(table.get(&warm), None);
+    }
+
+    #[test]
+    fn duplicate_points_keep_the_first_value() {
+        let table =
+            TransferPathTable::build([(point(100.0, 1.0, 0), 1u32), (point(100.0, 1.0, 0), 2u32)]);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.get(&point(100.0, 1.0, 0)), Some(&1));
+    }
+
+    #[test]
+    fn empty_table_always_misses() {
+        let table = TransferPathTable::<f64>::empty();
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.get(&point(650.0, 5.0, 0)), None);
+    }
+
+    #[test]
+    fn keys_are_bit_exact() {
+        // 0.1 + 0.2 != 0.3 in IEEE-754: the table must not pretend
+        // otherwise.
+        let table = TransferPathTable::build([(point(0.3, 1.0, 0), 3u8)]);
+        assert!(table.get(&point(0.1 + 0.2, 1.0, 0)).is_none());
+        assert!(table.get(&point(0.3, 1.0, 0)).is_some());
+    }
+
+    #[test]
+    fn large_tables_stay_sorted_and_searchable() {
+        let points: Vec<_> = (0..500)
+            .rev() // deliberately unsorted input
+            .map(|i| (point(100.0 + i as f64, 5.0, 0), i))
+            .collect();
+        let table = TransferPathTable::build(points);
+        assert_eq!(table.len(), 500);
+        for i in (0..500).step_by(37) {
+            assert_eq!(table.get(&point(100.0 + i as f64, 5.0, 0)), Some(&i));
+        }
+    }
+}

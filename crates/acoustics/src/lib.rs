@@ -20,6 +20,8 @@
 //!   underwater speaker (Clark Synthesis AQ339 preset) ([`source`]).
 //! * **Sweep** — frequency-sweep planning used by the paper's §4.1
 //!   methodology ([`sweep`]).
+//! * **Cache** — exact-key, deterministic memoization of the transfer
+//!   path for campaign hot loops ([`cache`]).
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 //! ```
 
 pub mod absorption;
+pub mod cache;
 pub mod directivity;
 pub mod medium;
 pub mod propagation;
@@ -43,6 +46,7 @@ pub mod sweep;
 pub mod units;
 
 pub use absorption::absorption_db_per_km;
+pub use cache::{OperatingPoint, TransferPathTable};
 pub use directivity::{half_power_beamwidth_rad, off_axis_attenuation_db, piston_directivity};
 pub use medium::{Medium, WaterConditions};
 pub use propagation::{
@@ -57,6 +61,7 @@ pub use units::{Celsius, Depth, Distance, Frequency, Gain, Salinity};
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::absorption::absorption_db_per_km;
+    pub use crate::cache::{OperatingPoint, TransferPathTable};
     pub use crate::directivity::{
         half_power_beamwidth_rad, off_axis_attenuation_db, piston_directivity,
     };

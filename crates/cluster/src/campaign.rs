@@ -108,6 +108,10 @@ pub struct CampaignConfig {
     pub verify_responses: bool,
     /// Tracing, metrics scraping, and SLO alerting knobs.
     pub telemetry: TelemetryConfig,
+    /// Precompute the acoustic transfer path for every tone the
+    /// timeline can mount (on in every stock config). Pure performance:
+    /// reports are byte-identical either way, enforced by test.
+    pub transfer_cache: bool,
     /// Root RNG seed; fixes every client stream.
     pub seed: u64,
 }
@@ -132,6 +136,7 @@ impl CampaignConfig {
             scrub_batch: 8,
             verify_responses: false,
             telemetry: TelemetryConfig::default(),
+            transfer_cache: true,
             seed: deepnote_sim::rng::DEFAULT_SEED,
         }
     }
@@ -225,9 +230,13 @@ struct EventQueue {
 }
 
 impl EventQueue {
-    fn new() -> Self {
+    /// Pre-sizes the heap for its steady-state population: recurring
+    /// streams re-push themselves as they pop, so the live event count
+    /// stays near the number of streams for the whole campaign and the
+    /// heap never reallocates mid-loop.
+    fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(cap),
             seq: 0,
         }
     }
@@ -394,6 +403,15 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
     let mut chaos_rng = SimRng::seeded(config.seed ^ CHAOS_SALT);
     let mut cluster = Cluster::with_chaos(config.cluster.clone(), &config.chaos, &mut chaos_rng)?;
     cluster.provision(&spec)?;
+    if config.transfer_cache {
+        // The driver only retunes at phase boundaries and heartbeats, so
+        // the set of mountable tones is finite and known up front.
+        cluster.precompute_transfer(
+            &config
+                .timeline
+                .tone_frequencies(config.cluster.health.heartbeat_every),
+        );
+    }
     // Telemetry attaches after provisioning so preload traffic (off the
     // cluster timeline) never lands in the trace.
     let tracer = if config.telemetry.trace {
@@ -432,7 +450,10 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, ClusterEr
 
     let end = SimTime::ZERO + config.timeline.total();
     let heartbeat_every = config.cluster.health.heartbeat_every;
-    let mut q = EventQueue::new();
+    // Steady-state queue population: every phase change plus one slot
+    // per recurring stream (heartbeat, repair, scrub, sample, scrape)
+    // and one per client.
+    let mut q = EventQueue::with_capacity(config.timeline.phases().len() + 5 + pool.len());
     for i in 0..config.timeline.phases().len() {
         q.push(config.timeline.phase_start(i), EvKind::PhaseChange(i));
     }
@@ -677,5 +698,39 @@ mod tests {
         ]);
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn transfer_cache_reports_are_byte_identical() {
+        let cached = short_config(PlacementPolicy::CoLocated);
+        assert!(cached.transfer_cache);
+        let mut uncached = cached.clone();
+        uncached.transfer_cache = false;
+        let a = run_campaign(&cached).expect("cached campaign");
+        let b = run_campaign(&uncached).expect("uncached campaign");
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.events, b.events);
+        assert_eq!(format!("{:?}", a.metrics), format!("{:?}", b.metrics));
+    }
+
+    #[test]
+    fn single_thread_override_matches_parallel_matrix() {
+        // Each campaign is an isolated virtual-time world, so the pool
+        // width must not be able to change a single byte of any report.
+        let configs = vec![
+            short_config(PlacementPolicy::Separated),
+            short_config(PlacementPolicy::CoLocated),
+        ];
+        let parallel = run_matrix(configs.clone());
+        std::env::set_var(deepnote_core::parallel::THREADS_ENV, "1");
+        let serial = run_matrix(configs);
+        std::env::remove_var(deepnote_core::parallel::THREADS_ENV);
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(serial.iter()) {
+            let p = p.as_ref().expect("parallel run");
+            let s = s.as_ref().expect("serial run");
+            assert_eq!(p.render(), s.render());
+            assert_eq!(p.events, s.events);
+        }
     }
 }

@@ -18,10 +18,11 @@ use crate::replication::{
     ReplicationConfig,
 };
 use crate::workload::WorkloadSpec;
-use deepnote_acoustics::Frequency;
+use deepnote_acoustics::{Distance, Frequency, OperatingPoint};
 use deepnote_blockdev::{ChaosEvent, ChaosStats};
 use deepnote_core::testbed::Testbed;
 use deepnote_core::threat::AttackParams;
+use deepnote_hdd::VibrationState;
 use deepnote_kv::DbConfig;
 use deepnote_sim::{SimDuration, SimRng, SimTime};
 use deepnote_structures::Scenario;
@@ -271,6 +272,44 @@ impl Cluster {
             self.nodes[n].preload(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())))?;
         }
         Ok(())
+    }
+
+    /// Precomputes the acoustic transfer path for every steady-state
+    /// tone in `frequencies`, at every node's position: the testbed gets
+    /// a received-SPL/displacement table (so retunes, SPL queries, and
+    /// trace annotations stop re-walking the physics chain), and every
+    /// node's drive gets a servo-residual table (so metrics probes and
+    /// degraded-I/O traces answer from a lookup). Tables store exactly
+    /// what the uncached paths compute, so campaign reports are
+    /// byte-identical with or without this call — it only changes how
+    /// fast they are produced. Call after [`Cluster::with_chaos`] /
+    /// [`Cluster::provision`], once the tone set is known.
+    pub fn precompute_transfer(&mut self, frequencies: &[Frequency]) {
+        if frequencies.is_empty() {
+            return;
+        }
+        let distances: Vec<Distance> = self.nodes.iter().map(StorageNode::position).collect();
+        self.testbed = self
+            .testbed
+            .clone()
+            .with_transfer_cache(frequencies, &distances);
+        for n in 0..self.nodes.len() {
+            let position = self.nodes[n].position();
+            // The template carries the position/water/scenario part of
+            // the key; lookups mint per-tone keys by substituting the
+            // live frequency.
+            let template = self.testbed.operating_point(frequencies[0], position);
+            let tones: Vec<(OperatingPoint, VibrationState)> = frequencies
+                .iter()
+                .map(|&f| {
+                    (
+                        self.testbed.operating_point(f, position),
+                        self.testbed.vibration_at(f, position),
+                    )
+                })
+                .collect();
+            self.nodes[n].install_transfer_cache(template, &tones);
+        }
     }
 
     /// Retunes (or silences) the speaker at cluster time `now`: every

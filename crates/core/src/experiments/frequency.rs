@@ -9,6 +9,7 @@
 //! (fast — used by the benches to regenerate the figure) and a measured
 //! mode that runs the actual FIO-style jobs against the mechanical drive.
 
+use crate::parallel::run_all;
 use crate::testbed::Testbed;
 use deepnote_acoustics::{Distance, Frequency, SweepPlan};
 use deepnote_blockdev::HddDisk;
@@ -68,12 +69,15 @@ pub fn sweep_scenario(scenario: Scenario, distance: Distance, plan: &SweepPlan) 
     }
 }
 
-/// Sweeps all three scenarios (the full Figure 2), fast path.
+/// Sweeps all three scenarios (the full Figure 2), fast path — one
+/// pool job per scenario, identical output to sweeping in sequence.
 pub fn figure2(distance: Distance, plan: &SweepPlan) -> Vec<FrequencySweep> {
-    Scenario::ALL
-        .iter()
-        .map(|&s| sweep_scenario(s, distance, plan))
-        .collect()
+    run_all(
+        Scenario::ALL
+            .iter()
+            .map(|&s| move || sweep_scenario(s, distance, plan))
+            .collect(),
+    )
 }
 
 /// Measures one frequency point with the op-level drive and FIO-style

@@ -4,6 +4,7 @@
 //! speaker from 1 cm to 25 cm, measuring FIO sequential read/write
 //! (Table 1) and RocksDB `readwhilewriting` (Table 2) at each distance.
 
+use crate::parallel::run_all;
 use crate::testbed::Testbed;
 use crate::threat::AttackParams;
 use deepnote_acoustics::Distance;
@@ -78,13 +79,20 @@ pub fn fio_row(testbed: &Testbed, distance_cm: Option<f64>, seconds: u64) -> Fio
     }
 }
 
-/// Regenerates Table 1 (Scenario 2, 650 Hz).
+/// Regenerates Table 1 (Scenario 2, 650 Hz). Rows are isolated
+/// virtual-time worlds, so they run concurrently on the experiment
+/// pool; the result is identical to evaluating them in sequence.
 pub fn table1(seconds: u64) -> Vec<FioRangeRow> {
     let testbed = Testbed::paper_default(Scenario::PlasticTower);
-    paper_distances()
-        .into_iter()
-        .map(|d| fio_row(&testbed, d, seconds))
-        .collect()
+    run_all(
+        paper_distances()
+            .into_iter()
+            .map(|d| {
+                let testbed = &testbed;
+                move || fio_row(testbed, d, seconds)
+            })
+            .collect(),
+    )
 }
 
 /// One row of Table 2.
@@ -120,13 +128,18 @@ pub fn kv_row(testbed: &Testbed, distance_cm: Option<f64>, spec: &bench::BenchSp
     }
 }
 
-/// Regenerates Table 2 (Scenario 2, 650 Hz).
+/// Regenerates Table 2 (Scenario 2, 650 Hz), one pool job per row.
 pub fn table2(spec: &bench::BenchSpec) -> Vec<KvRangeRow> {
     let testbed = Testbed::paper_default(Scenario::PlasticTower);
-    paper_distances()
-        .into_iter()
-        .map(|d| kv_row(&testbed, d, spec))
-        .collect()
+    run_all(
+        paper_distances()
+            .into_iter()
+            .map(|d| {
+                let testbed = &testbed;
+                move || kv_row(testbed, d, spec)
+            })
+            .collect(),
+    )
 }
 
 /// A `BenchSpec` sized for quick table regeneration.

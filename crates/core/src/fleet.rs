@@ -6,6 +6,7 @@
 //! the sound source (a column of enclosures, or one enclosure with a deep
 //! rack) and classifies each drive's state under a given attack.
 
+use crate::parallel::run_chunked;
 use crate::testbed::Testbed;
 use crate::threat::AttackParams;
 use deepnote_acoustics::Distance;
@@ -107,7 +108,10 @@ impl Fleet {
         &self.positions
     }
 
-    /// Classifies every drive under the given attack.
+    /// Classifies every drive under the given attack. Drives are
+    /// independent operating points, so large fleets are assessed in
+    /// chunks on the experiment pool — the report is identical to a
+    /// sequential walk down the line.
     pub fn assess(&self, params: AttackParams) -> FleetReport {
         let geo = DriveGeometry::barracuda_500gb();
         let timing = TimingModel::barracuda_500gb();
@@ -116,23 +120,31 @@ impl Fleet {
         let baseline =
             steady_state(&geo, &timing, &servo, &tol, None, 8, DiskOpKind::Write).throughput_mb_s;
 
-        let drives = self
+        let jobs: Vec<_> = self
             .positions
             .iter()
             .enumerate()
             .map(|(index, &pos)| {
-                let v = self.testbed.vibration_at(params.frequency, pos);
-                let ss = steady_state(&geo, &timing, &servo, &tol, Some(&v), 8, DiskOpKind::Write);
-                let impact = Impact::classify(ss.responsive(), ss.throughput_mb_s, baseline);
-                DriveImpact {
-                    index,
-                    distance_cm: pos.cm(),
-                    write_mb_s: ss.throughput_mb_s,
-                    impact,
+                let (testbed, geo, timing, servo, tol) =
+                    (&self.testbed, &geo, &timing, &servo, &tol);
+                move || {
+                    let v = testbed.vibration_at(params.frequency, pos);
+                    let ss = steady_state(geo, timing, servo, tol, Some(&v), 8, DiskOpKind::Write);
+                    let impact = Impact::classify(ss.responsive(), ss.throughput_mb_s, baseline);
+                    DriveImpact {
+                        index,
+                        distance_cm: pos.cm(),
+                        write_mb_s: ss.throughput_mb_s,
+                        impact,
+                    }
                 }
             })
             .collect();
-        FleetReport { drives }
+        // Each point is closed-form math: chunk so dispatch stays a
+        // rounding error even for thousand-drive fleets.
+        FleetReport {
+            drives: run_chunked(jobs, 16),
+        }
     }
 }
 

@@ -1,17 +1,66 @@
-//! Parallel experiment execution.
+//! Parallel experiment execution on a bounded, deterministic pool.
 //!
 //! Every experiment in this workspace is a self-contained virtual-time
 //! world (its own [`deepnote_sim::Clock`]), so independent operating
-//! points — table rows, sweep frequencies, fleet members — can run on
-//! real OS threads concurrently without sharing any state. [`run_all`]
-//! fans a set of closures across scoped crossbeam threads and returns
-//! their results in input order.
+//! points — table rows, sweep frequencies, fleet members, campaign
+//! matrix cells — can run on real OS threads concurrently without
+//! sharing any state. [`run_all`] and [`try_run_all`] fan a set of
+//! closures across a bounded pool of scoped worker threads and return
+//! their results in input order; [`run_chunked`] batches small jobs so
+//! a 300-point sweep does not pay 300 dispatch round-trips.
+//!
+//! # Pool shape
+//!
+//! The pool spawns at most [`pool_width`] workers (never more than
+//! there are jobs). Workers self-schedule: each steals the next
+//! unclaimed chunk of the job list from a shared atomic cursor, so a
+//! slow job never idles the rest of the pool behind it. The pool is
+//! bounded — running a 300-cell matrix uses `pool_width()` OS threads,
+//! not 300.
+//!
+//! # Determinism
+//!
+//! Scheduling order cannot affect results. Each job owns its entire
+//! world: the simulation clock, RNG streams, and event queues are all
+//! local to the closure, and nothing in this module passes data
+//! between jobs. Results are written to per-job slots and read back in
+//! input order, so the output is a pure function of the input jobs —
+//! byte-identical whether the pool runs one worker
+//! (`DEEPNOTE_THREADS=1`) or saturates every core.
 
-/// Runs every job on its own scoped thread and collects the results in
-/// input order.
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable that overrides the worker count.
+pub const THREADS_ENV: &str = "DEEPNOTE_THREADS";
+
+/// Number of workers the pool will use: the `DEEPNOTE_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// host's available parallelism.
+pub fn pool_width() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => parse_width(&v).unwrap_or_else(default_width),
+        Err(_) => default_width(),
+    }
+}
+
+/// Parses a thread-override value; `None` for anything that is not a
+/// positive integer (the caller falls back to the host default).
+fn parse_width(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+fn default_width() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs the jobs on the pool and collects the results in input order.
 ///
-/// Panics in a job propagate to the caller (fail fast, like running the
-/// jobs inline would).
+/// Panics in a job propagate to the caller (fail fast, like running
+/// the jobs inline would), with the job's panic message attached.
 ///
 /// # Example
 ///
@@ -26,61 +75,120 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    if jobs.is_empty() {
-        return Vec::new();
-    }
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|job| scope.spawn(move |_| job()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope")
+    run_chunked(jobs, 1)
 }
 
-/// Runs every job on its own scoped thread, surfacing each job's panic
-/// as an `Err` instead of tearing the caller down.
+/// Like [`run_all`], but workers claim `chunk` consecutive jobs at a
+/// time. Use this for large batches of small jobs (sweep points, table
+/// rows) where per-job dispatch would dominate: a chunk costs one
+/// cursor claim instead of `chunk`.
+///
+/// `run_chunked(jobs, 1)` is exactly [`run_all`]; results are in input
+/// order for any chunk size.
+pub fn run_chunked<T, F>(jobs: Vec<F>, chunk: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    dispatch(jobs, chunk)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(msg) => panic!("experiment thread panicked: {msg}"),
+        })
+        .collect()
+}
+
+/// Runs the jobs on the pool, surfacing each job's panic as an `Err`
+/// instead of tearing the caller down.
 ///
 /// Results come back in input order; a panicking job yields `Err` with
 /// the panic message while the other jobs complete normally. Use this
 /// for campaign-style batches where one broken operating point should
 /// not discard the rest of the matrix.
 ///
-/// # Example
+/// The jobs are generic closures — no boxing required:
 ///
 /// ```
 /// use deepnote_core::parallel::try_run_all;
 ///
-/// let results = try_run_all(vec![
-///     Box::new(|| 2 + 2) as Box<dyn FnOnce() -> i32 + Send>,
-///     Box::new(|| panic!("bad operating point")),
-/// ]);
-/// assert_eq!(results[0], Ok(4));
+/// let results = try_run_all(
+///     (1..=3)
+///         .map(|i| move || if i == 2 { panic!("bad operating point") } else { i })
+///         .collect::<Vec<_>>(),
+/// );
+/// assert_eq!(results[0], Ok(1));
 /// assert_eq!(results[1], Err("bad operating point".to_string()));
+/// assert_eq!(results[2], Ok(3));
 /// ```
 pub fn try_run_all<T, F>(jobs: Vec<F>) -> Vec<Result<T, String>>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    if jobs.is_empty() {
+    dispatch(jobs, 1)
+}
+
+/// The pool itself: claims chunks of the job list off a shared cursor,
+/// runs each job under `catch_unwind`, and writes the outcome to the
+/// job's own result slot.
+fn dispatch<T, F>(jobs: Vec<F>, chunk: usize) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
         return Vec::new();
     }
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|job| scope.spawn(move |_| job()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().map_err(|payload| panic_message(payload.as_ref())))
-            .collect()
-    })
-    .expect("crossbeam scope")
+    let chunk = chunk.max(1);
+    let workers = pool_width().min(n.div_ceil(chunk));
+    if workers <= 1 {
+        // Single worker: no reason to leave the calling thread.
+        return jobs.into_iter().map(run_caught).collect();
+    }
+
+    // Per-job slots. Each index is claimed by exactly one worker (the
+    // cursor hands out disjoint ranges), so the per-slot locks are
+    // uncontended; they exist to let safe code take the `FnOnce` out
+    // and put the result in.
+    let job_slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let result_slots: Vec<Mutex<Option<Result<T, String>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    let job = job_slots[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    let outcome = run_caught(job);
+                    *result_slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                }
+            });
+        }
+    });
+
+    result_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped a job")
+        })
+        .collect()
+}
+
+fn run_caught<T, F: FnOnce() -> T>(job: F) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(job)).map_err(|payload| panic_message(payload.as_ref()))
 }
 
 /// Extracts the human-readable message from a panic payload.
@@ -114,9 +222,37 @@ mod tests {
     }
 
     #[test]
+    fn preserves_input_order_under_contention() {
+        // Completion order is deliberately the reverse of input order:
+        // early jobs sleep longest, so late jobs finish first on any
+        // multi-worker pool. The output must still be input-ordered.
+        let n = 32;
+        let results = run_all(
+            (0..n)
+                .map(|i| {
+                    move || {
+                        std::thread::sleep(std::time::Duration::from_micros((n - i) as u64 * 50));
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(results, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn empty_input_is_fine() {
         let results: Vec<u32> = run_all(Vec::<fn() -> u32>::new());
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn chunked_matches_unchunked() {
+        let expected: Vec<u64> = (0..100).map(|i| i * i).collect();
+        for chunk in [1, 3, 7, 100, 1000] {
+            let jobs: Vec<_> = (0..100u64).map(|i| move || i * i).collect();
+            assert_eq!(run_chunked(jobs, chunk), expected, "chunk = {chunk}");
+        }
     }
 
     #[test]
@@ -159,8 +295,46 @@ mod tests {
     }
 
     #[test]
+    fn try_run_all_isolates_panics_beyond_pool_width() {
+        // More jobs than any plausible pool width, with panics
+        // scattered through the batch: every worker hits at least one
+        // panicking job and must keep draining the queue afterwards.
+        let results = try_run_all(
+            (0..128u32)
+                .map(|i| {
+                    move || {
+                        if i % 5 == 0 {
+                            panic!("point {i} diverged");
+                        }
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(results.len(), 128);
+        for (i, r) in results.iter().enumerate() {
+            if i % 5 == 0 {
+                assert_eq!(r, &Err(format!("point {i} diverged")));
+            } else {
+                assert_eq!(r, &Ok(i as u32));
+            }
+        }
+    }
+
+    #[test]
     fn try_run_all_empty_input_is_fine() {
         let results: Vec<Result<u32, String>> = try_run_all(Vec::<fn() -> u32>::new());
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn width_parsing() {
+        assert_eq!(parse_width("4"), Some(4));
+        assert_eq!(parse_width(" 1 "), Some(1));
+        assert_eq!(parse_width("0"), None);
+        assert_eq!(parse_width("-2"), None);
+        assert_eq!(parse_width("many"), None);
+        assert_eq!(parse_width(""), None);
+        assert!(pool_width() >= 1);
     }
 }

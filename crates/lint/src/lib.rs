@@ -286,6 +286,40 @@ mod tests {
     }
 
     #[test]
+    fn perf_layer_modules_are_policed() {
+        // The transfer-path cache and the experiment pool exist to make
+        // the simulator fast *without* changing a single output byte,
+        // so they must sit inside the determinism regime: prove the
+        // scoping reaches them so a refactor cannot silently move the
+        // memoization or the dispatcher out of coverage.
+        let nondet = "use std::collections::HashMap;";
+        let clocky = "pub fn f() -> std::time::Instant { std::time::Instant::now() }";
+        let panicky = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        for path in [
+            "crates/acoustics/src/cache.rs",
+            "crates/core/src/parallel.rs",
+        ] {
+            assert_eq!(run_on(path, nondet).len(), 1, "{path} nondet uncovered");
+            assert_eq!(run_on(path, clocky).len(), 1, "{path} clock uncovered");
+        }
+        // The cache is also serving-path library code: no panics.
+        assert_eq!(
+            run_on("crates/acoustics/src/cache.rs", panicky).len(),
+            1,
+            "acoustics cache panic uncovered"
+        );
+        // The perf harness lives in the `deepnote` binary, where the
+        // panic rule does not apply but the determinism rules still do
+        // — its wall-clock reads carry explicit suppressions.
+        assert!(run_on("crates/cluster/src/bin/deepnote.rs", panicky).is_empty());
+        assert_eq!(
+            run_on("crates/cluster/src/bin/deepnote.rs", clocky).len(),
+            1,
+            "bin clock uncovered"
+        );
+    }
+
+    #[test]
     fn panic_rule_exempts_tests_and_bins() {
         let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
         assert_eq!(run_on("crates/kv/src/db.rs", src).len(), 1);
